@@ -1,0 +1,65 @@
+// Section 3.2 ablation: the confidence mechanism's thresholds (CCth, CDth)
+// and coefficients (beta). The paper trains these empirically on NoC
+// traces; this sweep is that training experiment — it reports performance
+// and engine efficiency (completions vs aborted hasty decisions) per
+// setting on a congested workload.
+#include "bench_util.h"
+
+using namespace disco;
+
+namespace {
+
+struct Point {
+  double ccth, cdth, beta;
+};
+
+}  // namespace
+
+int main() {
+  SystemConfig base;
+  base.algorithm = "delta";
+  base.scheme = Scheme::DISCO;
+  bench::print_banner("Ablation: DISCO confidence thresholds (Eq.1/Eq.2)", base);
+
+  auto opt = bench::standard_options();
+  opt.measure_cycles = 60000;
+  // The confidence mechanism only has work to do under contention: stress
+  // the workload to 3x its nominal intensity.
+  workload::BenchmarkProfile profile = workload::profile_by_name("canneal");
+  profile.mem_op_rate *= 3.0;
+
+  const std::vector<Point> points = {
+      {-100, -100, 0},  // hair-trigger: compress/decompress on any stall
+      {0.5, 0.5, 1},    {1, 1, 1},       {2, 2, 1},
+      {4, 4, 1},        {1, 1, 2},       {1, 1, 4},
+      {8, 8, 2},        {1e18, 1e18, 1},  // engines disabled
+  };
+
+  TablePrinter t({"CCth", "CDth", "beta", "NUCA latency", "router comp",
+                  "router decomp", "hidden", "aborts", "abort rate"});
+  for (const Point& p : points) {
+    SystemConfig cfg = base;
+    cfg.disco.cc_threshold = p.ccth;
+    cfg.disco.cd_threshold = p.cdth;
+    cfg.disco.beta = p.beta;
+    const auto r = sim::run_cell(cfg, profile, opt);
+    const double ops = static_cast<double>(r.inflight_compressions +
+                                           r.inflight_decompressions +
+                                           r.compression_aborts);
+    t.add_row({p.ccth < -1 ? "-inf" : (p.ccth > 1e9 ? "+inf" : TablePrinter::fmt(p.ccth, 1)),
+               p.cdth < -1 ? "-inf" : (p.cdth > 1e9 ? "+inf" : TablePrinter::fmt(p.cdth, 1)),
+               TablePrinter::fmt(p.beta, 1),
+               TablePrinter::fmt(r.avg_nuca_latency, 2),
+               std::to_string(r.inflight_compressions),
+               std::to_string(r.inflight_decompressions),
+               std::to_string(r.hidden_decomp_ops),
+               std::to_string(r.compression_aborts),
+               ops > 0 ? TablePrinter::pct(r.compression_aborts / ops) : "-"});
+  }
+  t.print(std::cout);
+  std::printf("\nreading: low thresholds compress eagerly but waste engine "
+              "energy on aborted hasty decisions; high thresholds forgo "
+              "hiding entirely (the paper's 'trained empirically' point sits "
+              "between).\n");
+  return 0;
+}

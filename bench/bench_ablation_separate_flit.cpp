@@ -1,0 +1,47 @@
+// Section 3.3A ablation: separate-flit compression under wormhole flow
+// control (the mode DISCO adopts) vs whole-packet-only compression. The
+// separate mode starts compressing with the first flit group instead of
+// waiting for full residency, at a small encoding-size penalty for the
+// group-concatenation tags.
+#include "bench_util.h"
+
+using namespace disco;
+
+int main() {
+  SystemConfig base;
+  base.algorithm = "delta";
+  base.scheme = Scheme::DISCO;
+  bench::print_banner("Ablation: separate-flit compression (3.3A)", base);
+
+  auto opt = bench::standard_options();
+  opt.measure_cycles = 60000;
+
+  TablePrinter t({"Workload", "NUCA lat (separate)", "NUCA lat (whole-pkt)",
+                  "router comp sep", "router comp whole", "aborts sep",
+                  "aborts whole"});
+  for (const auto& name : {"canneal", "dedup", "streamcluster", "x264"}) {
+    // In-router compression needs contention: stress to 3x nominal rate.
+    workload::BenchmarkProfile profile = workload::profile_by_name(name);
+    profile.mem_op_rate *= 3.0;
+    SystemConfig sep = base;
+    sep.disco.separate_flit_compression = true;
+    SystemConfig whole = base;
+    whole.disco.separate_flit_compression = false;
+    const auto r_sep = sim::run_cell(sep, profile, opt);
+    const auto r_whole = sim::run_cell(whole, profile, opt);
+    t.add_row({name, TablePrinter::fmt(r_sep.avg_nuca_latency, 2),
+               TablePrinter::fmt(r_whole.avg_nuca_latency, 2),
+               std::to_string(r_sep.inflight_compressions),
+               std::to_string(r_whole.inflight_compressions),
+               std::to_string(r_sep.compression_aborts),
+               std::to_string(r_whole.compression_aborts)});
+    std::printf("  %-14s done\n", name);
+  }
+  std::printf("\n");
+  t.print(std::cout);
+  std::printf("\nreading: whole-packet compression requires the full packet "
+              "resident in one VC (rare for streaming 8-flit packets); the "
+              "separate mode starts earlier and completes more operations "
+              "(paper: 'which is adopted in DISCO').\n");
+  return 0;
+}

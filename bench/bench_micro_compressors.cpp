@@ -1,0 +1,78 @@
+// Microbenchmarks (google-benchmark): software throughput of each
+// compression algorithm's encode/decode over the PARSEC-like value corpus.
+// These measure the simulator's algorithm implementations (host-side cost),
+// complementing the modeled hardware latencies of Table 1.
+#include <benchmark/benchmark.h>
+
+#include "compress/registry.h"
+#include "workload/value_synth.h"
+
+using namespace disco;
+
+namespace {
+
+std::vector<BlockBytes> corpus() {
+  static const std::vector<BlockBytes> blocks = [] {
+    workload::ValueMix mix{0.2, 0.25, 0.2, 0.15, 0.1, 0.1};
+    workload::ValueSynthesizer synth(mix, 99);
+    std::vector<BlockBytes> out;
+    for (Addr a = 0; a < 512 * kBlockBytes; a += kBlockBytes)
+      out.push_back(synth.block_for(a));
+    return out;
+  }();
+  return blocks;
+}
+
+void BM_Compress(benchmark::State& state, const std::string& name) {
+  auto algo = compress::make_algorithm(name);
+  const auto blocks = corpus();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo->compress(blocks[i++ % blocks.size()]));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBlockBytes));
+}
+
+void BM_Decompress(benchmark::State& state, const std::string& name) {
+  auto algo = compress::make_algorithm(name);
+  const auto blocks = corpus();
+  std::vector<compress::Encoded> encoded;
+  encoded.reserve(blocks.size());
+  for (const auto& b : blocks) encoded.push_back(algo->compress(b));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& e = encoded[i++ % encoded.size()];
+    benchmark::DoNotOptimize(
+        algo->decompress(std::span<const std::uint8_t>(e.bytes)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBlockBytes));
+}
+
+void BM_RoundTrip(benchmark::State& state, const std::string& name) {
+  auto algo = compress::make_algorithm(name);
+  const auto blocks = corpus();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto e = algo->compress(blocks[i++ % blocks.size()]);
+    benchmark::DoNotOptimize(
+        algo->decompress(std::span<const std::uint8_t>(e.bytes)));
+  }
+}
+
+const int kRegistered = [] {
+  for (const auto& name : compress::algorithm_names()) {
+    benchmark::RegisterBenchmark(("compress/" + name).c_str(),
+                                 [name](benchmark::State& s) { BM_Compress(s, name); });
+    benchmark::RegisterBenchmark(("decompress/" + name).c_str(),
+                                 [name](benchmark::State& s) { BM_Decompress(s, name); });
+    benchmark::RegisterBenchmark(("roundtrip/" + name).c_str(),
+                                 [name](benchmark::State& s) { BM_RoundTrip(s, name); });
+  }
+  return 0;
+}();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Booksim-style network-only load-latency curves (the paper used Booksim
+// for cycle-accurate NoC modeling): synthetic uniform-random data traffic
+// swept over injection rates, for wormhole vs virtual cut-through and with
+// vs without DISCO routers. Shows the saturation point and where the
+// in-network compressor buys headroom.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "compress/registry.h"
+#include "disco/unit.h"
+#include "noc/network.h"
+#include "workload/synthetic.h"
+
+using namespace disco;
+
+namespace {
+
+class CountingSink final : public noc::PacketSink {
+ public:
+  void deliver(noc::PacketPtr pkt, Cycle now) override {
+    ++delivered;
+    total_latency += static_cast<double>(now - pkt->injected);
+  }
+  std::uint64_t delivered = 0;
+  double total_latency = 0;
+};
+
+double run_point(FlowControl fc, bool with_disco, double rate) {
+  NocConfig cfg;
+  cfg.flow_control = fc;
+  noc::NocStats stats;
+  auto algo = compress::make_algorithm("delta");
+  DiscoConfig dcfg;
+
+  noc::NiPolicy policy;
+  policy.algo = algo.get();
+  policy.decompress_for_raw_consumers = true;
+  policy.decomp_cycles = algo->latency().decomp_cycles;
+  if (with_disco) {
+    policy.compress_when_source_queued = true;
+    policy.comp_cycles = algo->latency().comp_cycles;
+  }
+
+  noc::Network::ExtensionFactory factory;
+  if (with_disco) {
+    factory = [&](noc::Router& r) {
+      return std::make_unique<core::DiscoUnit>(r, dcfg, *algo, algo->latency(),
+                                               stats);
+    };
+  }
+  noc::Network net(cfg, policy, stats, factory);
+  std::vector<CountingSink> sinks(cfg.num_nodes());
+  for (NodeId n = 0; n < cfg.num_nodes(); ++n)
+    net.register_sink(n, UnitKind::Core, &sinks[n]);
+
+  Rng rng(77);
+  workload::TrafficChooser chooser(workload::TrafficPattern::UniformRandom, 4, 3);
+  std::uint64_t id = 1;
+  Cycle clock = 0;
+  for (; clock < 20000; ++clock) {
+    for (NodeId src = 0; src < cfg.num_nodes(); ++src) {
+      if (!rng.chance(rate)) continue;
+      net.inject(src,
+                 workload::make_synthetic_packet(src, chooser.pick(src), id++,
+                                                 clock, 0.8, rng),
+                 clock);
+    }
+    net.tick(clock);
+  }
+  for (Cycle i = 0; i < 100000 && !net.quiescent(); ++i) net.tick(++clock);
+
+  double total = 0;
+  std::uint64_t n = 0;
+  for (const auto& s : sinks) {
+    total += s.total_latency;
+    n += s.delivered;
+  }
+  return n ? total / static_cast<double>(n) : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  SystemConfig cfg;
+  bench::print_banner("NoC load-latency curves (network-only, uniform random)",
+                      cfg);
+
+  TablePrinter t({"inject rate", "wormhole", "wormhole+DISCO", "VCT",
+                  "VCT+DISCO"});
+  for (const double rate : {0.005, 0.01, 0.02, 0.04, 0.06, 0.08}) {
+    t.add_row({TablePrinter::fmt(rate, 3),
+               TablePrinter::fmt(run_point(FlowControl::Wormhole, false, rate), 1),
+               TablePrinter::fmt(run_point(FlowControl::Wormhole, true, rate), 1),
+               TablePrinter::fmt(run_point(FlowControl::VirtualCutThrough, false, rate), 1),
+               TablePrinter::fmt(run_point(FlowControl::VirtualCutThrough, true, rate), 1)});
+    std::printf("  rate %.3f done\n", rate);
+  }
+  std::printf("\n");
+  t.print(std::cout);
+  std::printf("\nreading: DISCO's compression postpones saturation (its curve "
+              "bends later); VCT trades a slightly earlier knee for whole-"
+              "packet residency at every hop.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Section 4.3 reproduction: hardware (area) overhead of DISCO vs CC/CNC.
+// Paper claims: the delta-based DISCO de/compressor + arbitrator adds 17.2%
+// of the router area, which is <1% of the 4MB NUCA array, and is about half
+// of CNC's overhead (bank + NI units).
+#include "bench_util.h"
+#include "compress/registry.h"
+#include "energy/energy_model.h"
+#include "energy/params.h"
+
+using namespace disco;
+
+int main() {
+  SystemConfig cfg;
+  bench::print_banner("Section 4.3: area overhead", cfg);
+
+  TablePrinter t({"Scheme", "Units", "Compression HW (mm^2)",
+                  "vs all routers", "vs NUCA array"});
+  for (const Scheme s : {Scheme::CC, Scheme::CNC, Scheme::DISCO}) {
+    const auto a = energy::compute_area(s, 16, /*delta datapath=*/1.0);
+    t.add_row({to_string(s),
+               std::to_string(energy::compressor_units(s, 16)),
+               TablePrinter::fmt(a.compression_mm2, 3),
+               TablePrinter::pct(a.overhead_vs_router),
+               TablePrinter::pct(a.overhead_vs_nuca, 2)});
+  }
+  t.print(std::cout);
+
+  std::printf("\nper-algorithm DISCO unit area (scaled by datapath complexity"
+              " relative to the delta unit):\n");
+  TablePrinter t2({"Algorithm", "DISCO HW (mm^2, 16 routers)", "vs NUCA"});
+  for (const auto& name : compress::algorithm_names()) {
+    auto algo = compress::make_algorithm(name);
+    const double scale = algo->hardware_overhead() / 0.023;
+    const auto a = energy::compute_area(Scheme::DISCO, 16, scale);
+    t2.add_row({name, TablePrinter::fmt(a.compression_mm2, 3),
+                TablePrinter::pct(a.overhead_vs_nuca, 2)});
+  }
+  t2.print(std::cout);
+  std::printf("\npaper: DISCO adds 17.2%% of a router, <1%% of the 4MB NUCA, "
+              "~half of CNC's overhead.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 1 reproduction: per-algorithm compression/decompression latency,
+// hardware overhead, and measured compression ratio over the full PARSEC
+// value corpus (all 13 workloads' value mixes, uniformly sampled).
+//
+// Paper values for reference: FPC -/5cy 8% 1.5 | SFPC -/4cy 8% 1.33 |
+// BDI 1/1-5cy 2.3% 1.57 | SC2 6/8-14cy 1.5-3.9% 2.4 | C-Pack -/8cy - -.
+#include "bench_util.h"
+#include "compress/registry.h"
+#include "compress/sc2.h"
+#include "workload/value_synth.h"
+
+using namespace disco;
+
+int main() {
+  SystemConfig cfg;
+  bench::print_banner("Table 1: compression scheme parameters", cfg);
+
+  // Corpus: blocks drawn from every workload's value population.
+  std::vector<BlockBytes> corpus;
+  for (const auto& profile : bench::workloads()) {
+    workload::ValueSynthesizer synth(profile.values, 7);
+    for (Addr a = 0; a < 400 * kBlockBytes; a += kBlockBytes)
+      corpus.push_back(synth.block_for(a));
+  }
+
+  TablePrinter t({"Method", "Comp. Lat.", "Decomp. Lat.", "HW Overhead",
+                  "Comp. Ratio (measured)", "Compressible blocks"});
+  for (const auto& name : compress::algorithm_names()) {
+    auto algo = compress::make_algorithm(name);
+    if (auto* sc2 = dynamic_cast<compress::Sc2Algorithm*>(algo.get())) {
+      sc2->retrain(std::span<const BlockBytes>(corpus.data(), corpus.size() / 2));
+    }
+    double bytes = 0;
+    std::size_t compressible = 0;
+    for (const BlockBytes& b : corpus) {
+      const auto enc = algo->compress(b);
+      bytes += static_cast<double>(enc.size());
+      compressible += enc.size() < kBlockBytes ? 1 : 0;
+    }
+    const double ratio = static_cast<double>(kBlockBytes) *
+                         static_cast<double>(corpus.size()) / bytes;
+    const auto lat = algo->latency();
+    t.add_row({std::string(algo->name()),
+               std::to_string(lat.comp_cycles) + " cycles",
+               std::to_string(lat.decomp_cycles) + " cycles",
+               TablePrinter::pct(algo->hardware_overhead()),
+               TablePrinter::fmt(ratio, 2),
+               TablePrinter::pct(static_cast<double>(compressible) /
+                                 static_cast<double>(corpus.size()))});
+  }
+  t.print(std::cout);
+  std::printf("\ncorpus: %zu blocks across 13 PARSEC-like value mixes\n",
+              corpus.size());
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Shared plumbing for the figure/table benches: standard run options, the
+// Table-2 banner, and normalization helpers. Every bench prints through
+// TablePrinter so outputs are uniform and diffable against EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/experiment.h"
+#include "workload/profile.h"
+
+namespace disco::bench {
+
+inline sim::RunOptions standard_options() {
+  sim::RunOptions opt;
+  opt.warmup_ops_per_core = 24000;
+  opt.warmup_cycles = 15000;
+  opt.measure_cycles = 80000;
+  return opt;
+}
+
+inline void print_banner(const char* title, const SystemConfig& cfg) {
+  std::printf("=== %s ===\n", title);
+  std::printf("system: %s\n", cfg.summary().c_str());
+  std::printf("router: %u-stage pipeline, wormhole, %u-flit VCs | L1 32KB/4-way"
+              " | L2 %u-way NUCA, 4-cycle hit | DRAM %u cycles\n\n",
+              cfg.noc.router_pipeline_stages, cfg.noc.vc_depth_flits,
+              cfg.l2.ways, cfg.mem.access_latency);
+}
+
+/// Shorthand for the 13 PARSEC-like workloads.
+inline const std::vector<workload::BenchmarkProfile>& workloads() {
+  return workload::parsec_profiles();
+}
+
+}  // namespace disco::bench

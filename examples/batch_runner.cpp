@@ -1,0 +1,46 @@
+// Batch runner: sweep (workloads x schemes) cells and emit machine-readable
+// JSON for external plotting/regression tooling — the programmatic
+// counterpart of the figure benches.
+//
+// Run: ./build/examples/batch_runner [algorithm] [out.json] [workload...]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "sim/experiment.h"
+#include "sim/json_export.h"
+#include "workload/profile.h"
+
+using namespace disco;
+
+int main(int argc, char** argv) {
+  SystemConfig cfg;
+  cfg.algorithm = argc > 1 ? argv[1] : "delta";
+  const std::string out_path = argc > 2 ? argv[2] : "results.json";
+
+  std::vector<std::string> names;
+  for (int i = 3; i < argc; ++i) names.emplace_back(argv[i]);
+  if (names.empty()) names = {"canneal", "dedup", "streamcluster", "swaptions"};
+
+  sim::RunOptions opt;
+  opt.measure_cycles = 60000;
+
+  std::vector<sim::CellResult> results;
+  for (const auto& name : names) {
+    const auto& profile = workload::profile_by_name(name);
+    for (const Scheme s :
+         {Scheme::Baseline, Scheme::Ideal, Scheme::CC, Scheme::CNC,
+          Scheme::DISCO}) {
+      SystemConfig cell = cfg;
+      cell.scheme = s;
+      results.push_back(sim::run_cell(cell, profile, opt));
+      std::printf("  %-14s %-8s nuca=%.1f cycles\n", name.c_str(), to_string(s),
+                  results.back().avg_nuca_latency);
+    }
+  }
+
+  std::ofstream out(out_path);
+  sim::write_json(out, results);
+  std::printf("\nwrote %zu cells to %s\n", results.size(), out_path.c_str());
+  return 0;
+}

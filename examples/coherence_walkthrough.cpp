@@ -1,0 +1,116 @@
+// Coherence walkthrough: a narrated tour of the MOESI-style protocol on a
+// full 4x4 DISCO CMP — exclusive grants, sharing, invalidation on write,
+// home-mediated ownership migration, and a dirty writeback — with the
+// protocol/NoC statistics printed after each step.
+//
+// Run: ./build/examples/coherence_walkthrough
+#include <cstdio>
+
+#include "cmp/system.h"
+#include "workload/profile.h"
+
+using namespace disco;
+
+namespace {
+
+void snapshot(cmp::CmpSystem& sys, const char* label) {
+  const auto& cs = sys.cache_stats();
+  const auto& ns = sys.noc_stats();
+  std::printf("  [%s]\n", label);
+  std::printf("    L1 misses=%llu  L2 hits=%llu misses=%llu  inv=%llu "
+              "recalls=%llu  DRAM reads=%llu\n",
+              static_cast<unsigned long long>(cs.l1_misses),
+              static_cast<unsigned long long>(cs.l2_hits),
+              static_cast<unsigned long long>(cs.l2_misses),
+              static_cast<unsigned long long>(cs.invalidations_sent),
+              static_cast<unsigned long long>(cs.recalls_sent),
+              static_cast<unsigned long long>(cs.dram_reads));
+  std::printf("    NoC packets=%llu  flits=%llu  in-net decompressions=%llu\n\n",
+              static_cast<unsigned long long>(ns.packets_ejected),
+              static_cast<unsigned long long>(ns.link_flits),
+              static_cast<unsigned long long>(ns.inflight_decompressions));
+}
+
+/// Drive one access through a specific core's L1 and wait for completion.
+void access(cmp::CmpSystem& sys, NodeId node, Addr addr, bool store,
+            std::uint64_t value) {
+  static std::uint64_t op = 1ULL << 40;
+  auto& l1 = sys.l1(node);
+  while (true) {
+    const auto outcome = l1.access(op++, addr, store, value, sys.now());
+    if (outcome != cache::L1Cache::Outcome::Blocked) break;
+    sys.run(1);
+  }
+  sys.drain(50000);
+}
+
+const char* state_name(cache::L1State s) {
+  switch (s) {
+    case cache::L1State::I: return "I";
+    case cache::L1State::S: return "S";
+    case cache::L1State::E: return "E";
+    case cache::L1State::M: return "M";
+  }
+  return "?";
+}
+
+void show_line(cmp::CmpSystem& sys, NodeId node, Addr addr) {
+  const auto* line = sys.l1(node).peek(addr);
+  std::printf("    core %u L1 state: %s\n", node,
+              line != nullptr ? state_name(line->state) : "-");
+}
+
+}  // namespace
+
+int main() {
+  SystemConfig cfg;
+  cfg.scheme = Scheme::DISCO;
+  cmp::CmpSystem sys(cfg, workload::profile_by_name("dedup"));
+
+  // Drive the L1s manually: detach the trace-driven cores by taking over
+  // the completion callbacks (each core issues at most its window of misses
+  // and then stays quiet, leaving the protocol to our scripted accesses).
+  for (NodeId n = 0; n < 16; ++n)
+    sys.l1(n).set_completion_handler([](std::uint64_t, Cycle) {});
+
+  const Addr block = 0x1000 * kBlockBytes + 0x40;  // home bank = bank 1
+
+  std::printf("DISCO coherence walkthrough (4x4 mesh, MOESI-style blocking "
+              "directory, home bank %u)\n\n", sys.home_of(block));
+
+  std::printf("1) Core 0 loads the block: L2 miss -> DRAM fill -> exclusive "
+              "grant (DataE).\n");
+  access(sys, 0, block, false, 0);
+  show_line(sys, 0, block);
+  snapshot(sys, "after first load");
+
+  std::printf("2) Core 3 loads the same block: the home recalls core 0's "
+              "copy and grants shared data.\n");
+  access(sys, 3, block, false, 0);
+  show_line(sys, 0, block);
+  show_line(sys, 3, block);
+  snapshot(sys, "after second reader");
+
+  std::printf("3) Core 7 stores: the home invalidates the sharer(s) and "
+              "grants modified (DataM).\n");
+  access(sys, 7, block, true, 0xDEADBEEF);
+  show_line(sys, 3, block);
+  show_line(sys, 7, block);
+  snapshot(sys, "after store");
+
+  std::printf("4) Core 1 loads: ownership migrates home (RecallData carries "
+              "the dirty block), then data is granted.\n");
+  access(sys, 1, block, false, 0);
+  const auto* line = sys.l1(1).peek(block);
+  std::printf("    core 1 sees word0 = 0x%llX (expected 0xDEADBEEF)\n",
+              line != nullptr
+                  ? static_cast<unsigned long long>(
+                        [&] { std::uint64_t v; std::memcpy(&v, line->data.data(), 8); return v; }())
+                  : 0ULL);
+  snapshot(sys, "after migration");
+
+  std::printf("All transfers above rode the NoC as packets; under DISCO the "
+              "data-bearing ones travelled compressed whenever the stored "
+              "image or an idle router engine allowed it.\n");
+  return 0;
+}

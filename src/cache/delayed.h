@@ -1,0 +1,46 @@
+// Helper used by every controller to model fixed processing latencies:
+// packets scheduled for injection at a future cycle, drained into the NI by
+// the controller's tick.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "noc/ni.h"
+
+namespace disco::cache {
+
+class DelayedInjector {
+ public:
+  explicit DelayedInjector(noc::NetworkInterface& ni) : ni_(ni) {}
+
+  void schedule(noc::PacketPtr pkt, Cycle when) {
+    queue_.push(Entry{when, seq_++, std::move(pkt)});
+  }
+
+  void tick(Cycle now) {
+    while (!queue_.empty() && queue_.top().when <= now) {
+      ni_.inject(queue_.top().pkt, now);
+      queue_.pop();
+    }
+  }
+
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  struct Entry {
+    Cycle when;
+    std::uint64_t seq;  ///< FIFO tie-break for same-cycle entries
+    noc::PacketPtr pkt;
+
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+  noc::NetworkInterface& ni_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace disco::cache

@@ -1,0 +1,28 @@
+#include "cache/protocol.h"
+
+namespace disco::cache {
+
+noc::PacketId next_packet_id() {
+  static noc::PacketId next = 1;
+  return next++;
+}
+
+noc::PacketPtr make_packet(Msg m, Addr addr, NodeId src, UnitKind src_unit,
+                           NodeId dst, UnitKind dst_unit, Cycle now) {
+  auto pkt = std::make_shared<noc::Packet>();
+  pkt->id = next_packet_id();
+  pkt->src = src;
+  pkt->dst = dst;
+  pkt->src_unit = src_unit;
+  pkt->dst_unit = dst_unit;
+  pkt->vnet = vnet_of(m);
+  pkt->proto_msg = static_cast<std::uint8_t>(m);
+  pkt->addr = block_align(addr);
+  pkt->has_data = carries_data(m);
+  pkt->compressible = pkt->has_data;
+  pkt->critical = is_read_critical(m);
+  pkt->created = now;
+  return pkt;
+}
+
+}  // namespace disco::cache

@@ -1,0 +1,134 @@
+// Coherence protocol message vocabulary and packet construction helpers.
+//
+// The protocol is a blocking-directory invalidation protocol for a shared,
+// inclusive NUCA L2: the home bank serializes transactions per block and
+// mediates all ownership changes (owner data returns through the home).
+// L1 lines hold MESI states; together with the home-resident dirty-shared
+// data this provides MOESI-equivalent sharing behaviour while keeping every
+// race window closed by home-side serialization (see DESIGN.md).
+//
+// Traffic classes (paper section 3.3C): Request vnet carries GetS/GetM and
+// writebacks, Response vnet carries data responses and memory traffic,
+// Coherence vnet carries invalidations/recalls and their acks.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "noc/packet.h"
+
+namespace disco::cache {
+
+enum class Msg : std::uint8_t {
+  // L1 -> home (Request vnet)
+  GetS,      ///< read miss
+  GetM,      ///< write miss / upgrade
+  PutM,      ///< dirty writeback (data)
+  PutE,      ///< clean-exclusive eviction notice
+  // home -> L1 (Response vnet, data grants)
+  DataS,     ///< data, shared grant
+  DataE,     ///< data, exclusive-clean grant
+  DataM,     ///< data, modified grant (all other copies invalidated)
+  WBAck,     ///< writeback/eviction acknowledged
+  // home -> L1 and back (Coherence vnet)
+  Inv,       ///< invalidate shared copy
+  InvAck,
+  Recall,       ///< fetch/invalidate the exclusive copy
+  RecallData,   ///< recall response with dirty data
+  RecallAck,    ///< recall response, copy was clean
+  // L2 <-> memory controller
+  MemRead,   ///< fill request (Request vnet)
+  MemData,   ///< fill data (Response vnet)
+  MemWB,     ///< eviction writeback to DRAM (Request vnet, data)
+};
+
+inline const char* to_string(Msg m) {
+  switch (m) {
+    case Msg::GetS: return "GetS";
+    case Msg::GetM: return "GetM";
+    case Msg::PutM: return "PutM";
+    case Msg::PutE: return "PutE";
+    case Msg::DataS: return "DataS";
+    case Msg::DataE: return "DataE";
+    case Msg::DataM: return "DataM";
+    case Msg::WBAck: return "WBAck";
+    case Msg::Inv: return "Inv";
+    case Msg::InvAck: return "InvAck";
+    case Msg::Recall: return "Recall";
+    case Msg::RecallData: return "RecallData";
+    case Msg::RecallAck: return "RecallAck";
+    case Msg::MemRead: return "MemRead";
+    case Msg::MemData: return "MemData";
+    case Msg::MemWB: return "MemWB";
+  }
+  return "?";
+}
+
+inline Msg msg_of(const noc::Packet& p) { return static_cast<Msg>(p.proto_msg); }
+
+inline VNet vnet_of(Msg m) {
+  switch (m) {
+    case Msg::GetS:
+    case Msg::GetM:
+    case Msg::PutM:
+    case Msg::PutE:
+    case Msg::MemRead:
+    case Msg::MemWB:
+      return VNet::Request;
+    case Msg::DataS:
+    case Msg::DataE:
+    case Msg::DataM:
+    case Msg::WBAck:
+    case Msg::MemData:
+      return VNet::Response;
+    default:
+      return VNet::Coherence;
+  }
+}
+
+inline bool carries_data(Msg m) {
+  switch (m) {
+    case Msg::PutM:
+    case Msg::DataS:
+    case Msg::DataE:
+    case Msg::DataM:
+    case Msg::RecallData:
+    case Msg::MemData:
+    case Msg::MemWB:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline bool is_read_critical(Msg m) {
+  switch (m) {
+    case Msg::GetS:
+    case Msg::GetM:
+    case Msg::DataS:
+    case Msg::DataE:
+    case Msg::DataM:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Build a protocol packet. Data-bearing messages are marked compressible
+/// (section 3.3C: only response-class payloads are worth compressing).
+noc::PacketPtr make_packet(Msg m, Addr addr, NodeId src, UnitKind src_unit,
+                           NodeId dst, UnitKind dst_unit, Cycle now);
+
+/// Monotonic packet-id source (single-threaded simulator).
+noc::PacketId next_packet_id();
+
+inline Addr block_align(Addr a) { return a & ~static_cast<Addr>(kBlockBytes - 1); }
+
+/// Write an 8-byte store value into its (8B-aligned) word within the block.
+inline void apply_store_to_block(BlockBytes& block, Addr word_addr,
+                                 std::uint64_t value) {
+  const std::size_t offset = (word_addr & (kBlockBytes - 1)) & ~std::size_t{7};
+  std::memcpy(block.data() + offset, &value, sizeof(value));
+}
+
+}  // namespace disco::cache

@@ -1,0 +1,59 @@
+#include "cmp/core.h"
+
+#include <cassert>
+
+namespace disco::cmp {
+
+Core::Core(NodeId node, cache::L1Cache& l1, workload::TraceGenerator gen,
+           const workload::ValueSynthesizer& synth, std::uint32_t max_outstanding)
+    : node_(node),
+      l1_(l1),
+      gen_(std::move(gen)),
+      synth_(synth),
+      max_outstanding_(max_outstanding),
+      next_op_id_(static_cast<std::uint64_t>(node) << 48) {
+  l1_.set_completion_handler([this](std::uint64_t op_id, Cycle) {
+    const bool known = inflight_ids_.erase(op_id) > 0;
+    assert(known && "completion for an op the core never issued");
+    (void)known;
+    assert(outstanding_ > 0);
+    --outstanding_;
+  });
+}
+
+void Core::tick(Cycle now) {
+  if (gap_left_ > 0) {
+    --gap_left_;
+    return;
+  }
+  if (!pending_) {
+    pending_ = gen_.next();
+    gap_left_ = pending_->gap;
+    if (gap_left_ > 0) return;
+  }
+  if (outstanding_ >= max_outstanding_) {
+    ++stalls_;
+    ++window_stalls_;
+    return;
+  }
+
+  const std::uint64_t value =
+      pending_->is_store ? synth_.store_value(pending_->addr, next_op_id_) : 0;
+  const auto outcome =
+      l1_.access(next_op_id_, pending_->addr, pending_->is_store, value, now);
+  if (outcome == cache::L1Cache::Outcome::Blocked) {
+    ++stalls_;
+    ++blocked_stalls_;
+    return;
+  }
+  if (outcome == cache::L1Cache::Outcome::Miss) {
+    ++outstanding_;
+    inflight_ids_.insert(next_op_id_);
+  }
+  ++ops_;
+  if (pending_->is_store) ++stores_; else ++loads_;
+  ++next_op_id_;
+  pending_.reset();
+}
+
+}  // namespace disco::cmp

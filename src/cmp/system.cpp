@@ -1,0 +1,243 @@
+#include "cmp/system.h"
+
+#include <cassert>
+
+#include "compress/sc2.h"
+
+namespace disco::cmp {
+namespace {
+
+/// SC2's sampling phase: retrain the value-frequency table on blocks drawn
+/// from the workload's own value population.
+void maybe_retrain_sc2(compress::Algorithm& algo,
+                       const workload::ValueSynthesizer& synth) {
+  auto* sc2 = dynamic_cast<compress::Sc2Algorithm*>(&algo);
+  if (sc2 == nullptr) return;
+  std::vector<BlockBytes> sample;
+  sample.reserve(2048);
+  for (std::uint64_t i = 0; i < 2048; ++i)
+    sample.push_back(synth.block_for(splitmix64(i) % (1ULL << 30) * kBlockBytes));
+  sc2->retrain(sample);
+}
+
+}  // namespace
+
+CmpSystem::CmpSystem(const SystemConfig& cfg,
+                     const workload::BenchmarkProfile& profile)
+    : cfg_(cfg),
+      algo_(compress::make_algorithm(cfg.algorithm)),
+      synth_(profile.values, cfg.seed) {
+  const std::uint32_t n = cfg_.noc.num_nodes();
+  assert(n <= 64 && "directory sharer bitmask limits the mesh to 64 tiles");
+  maybe_retrain_sc2(*algo_, synth_);
+
+  const SchemeSetup setup = make_scheme_setup(cfg_.scheme, *algo_, cfg_.timing);
+
+  // The low-priority rule for compressible-but-uncompressed packets
+  // (section 3.3B) exists to create compression opportunities; it is part
+  // of DISCO's scheduling policy, not of the baselines'.
+  if (cfg_.scheme != Scheme::DISCO) cfg_.noc.deprioritize_compressible = false;
+
+  noc::Network::ExtensionFactory factory;
+  if (setup.use_disco_units) {
+    compress::LatencyModel lat = algo_->latency();
+    if (cfg_.timing.override_algorithm) {
+      lat.comp_cycles = cfg_.timing.comp_cycles;
+      lat.decomp_cycles = cfg_.timing.decomp_cycles;
+    }
+    factory = [this, lat](noc::Router& r) {
+      return std::make_unique<core::DiscoUnit>(r, cfg_.disco, *algo_, lat,
+                                               noc_stats_);
+    };
+  }
+  network_ = std::make_unique<noc::Network>(cfg_.noc, setup.ni, noc_stats_, factory);
+
+  // Memory controllers, evenly spread over the mesh.
+  const std::uint32_t ctrls = std::max(1u, cfg_.mem.num_controllers);
+  for (std::uint32_t i = 0; i < ctrls; ++i)
+    mem_nodes_.push_back(static_cast<NodeId>((i * n) / ctrls));
+  auto mem_node_of = [this](Addr addr) {
+    return mem_nodes_[(addr / kBlockBytes) % mem_nodes_.size()];
+  };
+  auto home_fn = [this](Addr addr) { return home_of(addr); };
+
+  for (NodeId node = 0; node < n; ++node) {
+    l1s_.push_back(std::make_unique<cache::L1Cache>(
+        node, cfg_.l1, network_->ni(node), home_fn, cache_stats_));
+    network_->register_sink(node, UnitKind::Core, l1s_.back().get());
+
+    std::uint32_t index_shift = 0;
+    while ((1u << index_shift) < n) ++index_shift;
+    l2s_.push_back(std::make_unique<cache::L2Bank>(
+        node, cfg_.l2, setup.bank, algo_.get(), cfg_.l2_bank_size_bytes(),
+        index_shift, network_->ni(node), mem_node_of, cache_stats_));
+    network_->register_sink(node, UnitKind::L2Bank, l2s_.back().get());
+  }
+
+  for (const NodeId node : mem_nodes_) {
+    mems_.push_back(std::make_unique<cache::MemCtrl>(
+        node, cfg_.mem, network_->ni(node),
+        [this](Addr a) { return synth_.block_for(a); }, cache_stats_));
+    network_->register_sink(node, UnitKind::MemCtrl, mems_.back().get());
+  }
+
+  for (NodeId node = 0; node < n; ++node) {
+    cores_.push_back(std::make_unique<Core>(
+        node, *l1s_[node],
+        workload::TraceGenerator(profile, node, cfg_.seed),
+        synth_, /*max_outstanding=*/8));
+  }
+}
+
+cache::L2Bank::WarmEvictFn CmpSystem::warm_evict_fn() {
+  return [this](Addr addr, const BlockBytes& data, bool dirty,
+                const cache::DirInfo& dir) {
+    BlockBytes final = data;
+    bool final_dirty = dirty;
+    if (dir.kind == cache::DirInfo::Kind::Excl) {
+      if (auto d = l1s_[dir.owner]->warm_invalidate(addr)) {
+        final = *d;
+        final_dirty = true;
+      }
+    } else if (dir.kind == cache::DirInfo::Kind::Shared) {
+      for (NodeId n = 0; n < cfg_.noc.num_nodes(); ++n)
+        if (dir.is_sharer(n)) l1s_[n]->warm_invalidate(addr);
+    }
+    if (final_dirty) mem_for(addr).write_block(addr, final);
+  };
+}
+
+void CmpSystem::warm_access(NodeId node, Addr addr, bool is_store,
+                            std::uint64_t value) {
+  const Addr blk = cache::block_align(addr);
+  cache::L2Bank& bank = *l2s_[home_of(blk)];
+  const auto on_evict = warm_evict_fn();
+
+  cache::L2Line* line = bank.warm_lookup(blk);
+  if (line == nullptr) {
+    const BlockBytes& mem_data = mem_for(blk).read_block(blk);
+    line = &bank.warm_install(blk, mem_data, false, cycle_, on_evict);
+  }
+  cache::L1Cache& l1 = *l1s_[node];
+  using Kind = cache::DirInfo::Kind;
+
+  std::optional<cache::L1Cache::WarmVictim> victim;
+  if (is_store) {
+    BlockBytes current = line->data;
+    if (line->dir.kind == Kind::Excl && line->dir.owner != node) {
+      if (auto d = l1s_[line->dir.owner]->warm_invalidate(blk)) {
+        current = *d;
+        bank.warm_update(*line, current, true, cycle_, on_evict);
+      }
+    } else if (line->dir.kind == Kind::Excl && line->dir.owner == node) {
+      if (cache::L1Line* ll = l1.warm_lookup(blk)) {
+        ll->state = cache::L1State::M;
+        cache::apply_store_to_block(ll->data, addr, value);
+        ll->lru = cycle_;
+        return;
+      }
+    } else if (line->dir.kind == Kind::Shared) {
+      for (NodeId n = 0; n < cfg_.noc.num_nodes(); ++n)
+        if (line->dir.is_sharer(n) && n != node) l1s_[n]->warm_invalidate(blk);
+    }
+    line->dir = cache::DirInfo{Kind::Excl, 0, node};
+    cache::apply_store_to_block(current, addr, value);
+    victim = l1.warm_install(blk, current, cache::L1State::M, cycle_);
+  } else {
+    if (cache::L1Line* ll = l1.warm_lookup(blk)) {
+      ll->lru = cycle_;
+      return;
+    }
+    if (line->dir.kind == Kind::Excl && line->dir.owner != node) {
+      if (auto d = l1s_[line->dir.owner]->warm_invalidate(blk))
+        bank.warm_update(*line, *d, true, cycle_, on_evict);
+      cache::DirInfo dir{Kind::Shared, 0, kInvalidNode};
+      dir.add_sharer(node);
+      line->dir = dir;
+      victim = l1.warm_install(blk, line->data, cache::L1State::S, cycle_);
+    } else if (line->dir.kind == Kind::Uncached ||
+               (line->dir.kind == Kind::Excl && line->dir.owner == node)) {
+      line->dir = cache::DirInfo{Kind::Excl, 0, node};
+      victim = l1.warm_install(blk, line->data, cache::L1State::E, cycle_);
+    } else {
+      line->dir.add_sharer(node);
+      victim = l1.warm_install(blk, line->data, cache::L1State::S, cycle_);
+    }
+  }
+
+  if (victim.has_value()) {
+    cache::L2Bank& vbank = *l2s_[home_of(victim->addr)];
+    cache::L2Line* vline = vbank.warm_lookup(victim->addr);
+    // Inclusive hierarchy: the L2 line must still exist for any L1 copy.
+    assert(vline != nullptr);
+    if (victim->dirty) vbank.warm_update(*vline, victim->data, true, cycle_, on_evict);
+    if (vline->dir.kind == Kind::Excl && vline->dir.owner == node) {
+      vline->dir = cache::DirInfo{};
+    } else if (vline->dir.kind == Kind::Shared) {
+      vline->dir.remove_sharer(node);
+      if (vline->dir.sharer_count() == 0) vline->dir = cache::DirInfo{};
+    }
+  }
+}
+
+void CmpSystem::functional_warmup(std::uint64_t ops_per_core) {
+  const std::uint32_t n = cfg_.noc.num_nodes();
+  for (std::uint64_t i = 0; i < ops_per_core; ++i) {
+    for (NodeId node = 0; node < n; ++node) {
+      const workload::TraceOp op = cores_[node]->next_warm_op();
+      const std::uint64_t value =
+          op.is_store ? synth_.store_value(op.addr, i) : 0;
+      warm_access(node, op.addr, op.is_store, value);
+    }
+  }
+}
+
+void CmpSystem::tick() {
+  ++cycle_;
+  network_->tick(cycle_);
+  for (auto& l1 : l1s_) l1->tick(cycle_);
+  for (auto& l2 : l2s_) l2->tick(cycle_);
+  for (auto& mem : mems_) mem->tick(cycle_);
+  for (auto& core : cores_) core->tick(cycle_);
+}
+
+void CmpSystem::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) tick();
+}
+
+bool CmpSystem::drain(Cycle max_cycles) {
+  for (Cycle i = 0; i < max_cycles; ++i) {
+    ++cycle_;
+    network_->tick(cycle_);
+    for (auto& l1 : l1s_) l1->tick(cycle_);
+    for (auto& l2 : l2s_) l2->tick(cycle_);
+    for (auto& mem : mems_) mem->tick(cycle_);
+    // No core ticks: stop injecting new work.
+    bool quiet = network_->quiescent();
+    for (auto& l1 : l1s_) quiet = quiet && l1->idle();
+    for (auto& l2 : l2s_) quiet = quiet && l2->idle();
+    for (auto& mem : mems_) quiet = quiet && mem->idle();
+    if (quiet) return true;
+  }
+  return false;
+}
+
+void CmpSystem::reset_stats() {
+  noc_stats_ = noc::NocStats{};
+  cache_stats_ = cache::CacheStats{};
+  for (auto& core : cores_) core->reset_counters();
+}
+
+std::uint64_t CmpSystem::total_core_ops() const {
+  std::uint64_t n = 0;
+  for (const auto& core : cores_) n += core->ops_issued();
+  return n;
+}
+
+std::uint64_t CmpSystem::total_stall_cycles() const {
+  std::uint64_t n = 0;
+  for (const auto& core : cores_) n += core->stall_cycles();
+  return n;
+}
+
+}  // namespace disco::cmp

@@ -1,0 +1,85 @@
+// The full simulated CMP (Table 2): a cols x rows mesh of tiles, each with
+// a trace-driven core + private L1 + shared NUCA L2 bank behind one router,
+// plus memory controller(s), assembled for one (scheme, algorithm,
+// workload) experiment cell.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/l1_cache.h"
+#include "cache/l2_bank.h"
+#include "cache/mem_ctrl.h"
+#include "cmp/core.h"
+#include "cmp/scheme.h"
+#include "common/config.h"
+#include "compress/registry.h"
+#include "disco/unit.h"
+#include "noc/network.h"
+#include "workload/profile.h"
+
+namespace disco::cmp {
+
+class CmpSystem {
+ public:
+  CmpSystem(const SystemConfig& cfg, const workload::BenchmarkProfile& profile);
+
+  /// Pre-populate caches, directory and backing store by functionally
+  /// replaying `ops_per_core` references per core (round-robin, so sharing
+  /// interleaves). Must run before any timing simulation; the timing phase
+  /// then continues each core's reference stream.
+  void functional_warmup(std::uint64_t ops_per_core);
+
+  /// Advance the whole chip by `cycles`.
+  void run(Cycle cycles);
+  /// Advance until every queue drains or `max_cycles` elapse; returns true
+  /// if the system went quiescent (used by tests).
+  bool drain(Cycle max_cycles);
+
+  void reset_stats();
+
+  Cycle now() const { return cycle_; }
+  const SystemConfig& config() const { return cfg_; }
+  const noc::NocStats& noc_stats() const { return noc_stats_; }
+  const cache::CacheStats& cache_stats() const { return cache_stats_; }
+  const compress::Algorithm& algorithm() const { return *algo_; }
+  const workload::ValueSynthesizer& synthesizer() const { return synth_; }
+
+  noc::Network& network() { return *network_; }
+  cache::L1Cache& l1(NodeId n) { return *l1s_[n]; }
+  cache::L2Bank& l2(NodeId n) { return *l2s_[n]; }
+  Core& core(NodeId n) { return *cores_[n]; }
+
+  std::uint64_t total_core_ops() const;
+  std::uint64_t total_stall_cycles() const;
+
+  NodeId home_of(Addr addr) const {
+    return static_cast<NodeId>((addr / kBlockBytes) % cfg_.noc.num_nodes());
+  }
+
+ private:
+  void tick();
+  void warm_access(NodeId node, Addr addr, bool is_store, std::uint64_t value);
+  cache::MemCtrl& mem_for(Addr addr) {
+    return *mems_[(addr / kBlockBytes) % mems_.size()];
+  }
+  cache::L2Bank::WarmEvictFn warm_evict_fn();
+
+  SystemConfig cfg_;
+  std::unique_ptr<compress::Algorithm> algo_;
+  workload::ValueSynthesizer synth_;
+
+  noc::NocStats noc_stats_;
+  cache::CacheStats cache_stats_;
+
+  std::unique_ptr<noc::Network> network_;
+  std::vector<std::unique_ptr<cache::L1Cache>> l1s_;
+  std::vector<std::unique_ptr<cache::L2Bank>> l2s_;
+  std::vector<std::unique_ptr<cache::MemCtrl>> mems_;
+  std::vector<NodeId> mem_nodes_;
+  std::vector<std::unique_ptr<Core>> cores_;
+
+  Cycle cycle_ = 0;
+};
+
+}  // namespace disco::cmp

@@ -1,0 +1,18 @@
+#include "common/config.h"
+
+#include <sstream>
+
+namespace disco {
+
+std::string SystemConfig::summary() const {
+  std::ostringstream os;
+  os << noc.mesh_cols << "x" << noc.mesh_rows << " mesh, "
+     << noc.num_nodes() << " tiles, " << noc.num_vcs() << " VCs ("
+     << noc.vcs_per_vnet << "/vnet), " << noc.vc_depth_flits
+     << "-flit buffers, L2 " << (l2.total_size_bytes >> 20) << "MB/"
+     << l2.ways << "-way, scheme=" << to_string(scheme)
+     << ", algo=" << algorithm;
+  return os.str();
+}
+
+}  // namespace disco

@@ -1,0 +1,119 @@
+// System configuration: every architectural knob of the simulated CMP.
+// Defaults reproduce Table 2 of the paper plus the DISCO parameters of
+// section 3.2. Benches override fields per experiment cell.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace disco {
+
+/// Flow-control discipline (paper section 3.3A). Wormhole is Table 2's
+/// configuration; virtual cut-through only forwards a head flit when the
+/// downstream VC can hold the whole packet, which keeps packets whole in
+/// one node — the property whole-packet compression wants.
+enum class FlowControl : std::uint8_t { Wormhole, VirtualCutThrough };
+
+/// NoC/router microarchitecture (Table 2: 3 pipeline stages, wormhole flow
+/// control, 8-flit deep buffers, 2 VCs per virtual network, XY routing).
+struct NocConfig {
+  std::uint32_t mesh_cols = 4;
+  std::uint32_t mesh_rows = 4;
+  std::uint32_t vcs_per_vnet = 2;
+  std::uint32_t vc_depth_flits = 8;
+  std::uint32_t router_pipeline_stages = 3;  // BW/RC -> VA/SA -> ST
+  FlowControl flow_control = FlowControl::Wormhole;
+  /// Section 3.3B: compressible-but-uncompressed packets get lowest priority.
+  bool deprioritize_compressible = true;
+
+  std::uint32_t num_nodes() const { return mesh_cols * mesh_rows; }
+  std::uint32_t num_vcs() const { return vcs_per_vnet * kNumVNets; }
+};
+
+/// DISCO arbitrator + engine knobs (section 3.2, Eq. 1 and Eq. 2). The
+/// coefficients/thresholds are "trained empirically" in the paper; defaults
+/// here come from the sweep in bench_ablation_confidence.
+struct DiscoConfig {
+  // Defaults come from the training sweep in bench_ablation_confidence
+  // (the paper's "trained empirically on NoC traces" step).
+  double gamma = 1.0;    ///< local-pressure coefficient for compression (Eq.1)
+  double alpha = 1.0;    ///< local-pressure coefficient for decompression (Eq.2)
+  double beta = 2.0;     ///< distance coefficient for decompression (Eq.2)
+  double cc_threshold = 1.0;  ///< CCth: confidence needed to start compressing
+  double cd_threshold = 2.0;  ///< CDth: confidence needed to start decompressing
+  bool non_blocking = true;   ///< shadow packets may be re-scheduled mid-operation
+  /// Section 3.3A: compress partial packets flit-group by flit-group under
+  /// wormhole instead of requiring whole-packet residency. The paper adopts
+  /// this mode ("...which is adopted in DISCO"); whole-packet-only is the
+  /// ablation.
+  bool separate_flit_compression = true;
+  std::uint32_t engines_per_router = 1;
+
+  /// Extension (the paper defers "on-line threshold calculation" as future
+  /// overhead): adapt CCth/CDth at runtime from the observed abort rate —
+  /// aborts mean hasty decisions (thresholds too low), an idle engine under
+  /// congestion means thresholds too high.
+  bool adaptive_thresholds = false;
+  double adapt_target_abort_rate = 0.25;
+  std::uint32_t adapt_window_cycles = 2048;
+};
+
+/// Private L1 data cache per core.
+struct L1Config {
+  std::uint32_t size_bytes = 32 * 1024;
+  std::uint32_t ways = 4;
+  std::uint32_t mshr_entries = 16;
+  std::uint32_t hit_latency = 2;
+};
+
+/// Shared NUCA L2: Table 2 — 4MB total, 8-way, 64B lines, one bank per tile,
+/// LRU, 4-cycle hit (NoC delay excluded).
+struct L2Config {
+  std::uint64_t total_size_bytes = 4ULL * 1024 * 1024;
+  std::uint32_t ways = 8;
+  std::uint32_t hit_latency = 4;
+  /// Compressed banks use a decoupled tag/data organization: tag entries per
+  /// set = ways * tag_factor; data space per set stays ways * 64B, carved
+  /// into 8B segments. tag_factor bounds the achievable capacity gain.
+  std::uint32_t tag_factor = 4;
+};
+
+/// Simple DRAM backend (Table 2: 4G, 1 rank, 1 channel, 8 banks).
+struct MemConfig {
+  std::uint32_t banks = 8;
+  std::uint32_t access_latency = 120;  ///< row activate + CAS, in NoC cycles
+  std::uint32_t bank_busy_cycles = 24; ///< per-request bank occupancy
+  std::uint32_t num_controllers = 1;
+};
+
+/// Compression timing. By default every scheme uses the algorithm's own
+/// Table-1 latencies; setting `override_algorithm` forces these values
+/// instead (used by latency-sensitivity ablations).
+struct CompressionTimingConfig {
+  bool override_algorithm = false;
+  std::uint32_t comp_cycles = 1;
+  std::uint32_t decomp_cycles = 3;
+};
+
+struct SystemConfig {
+  NocConfig noc;
+  DiscoConfig disco;
+  L1Config l1;
+  L2Config l2;
+  MemConfig mem;
+  CompressionTimingConfig timing;
+  Scheme scheme = Scheme::DISCO;
+  std::string algorithm = "delta";  ///< key into compress::Registry
+  std::uint64_t seed = 1;
+
+  std::uint64_t l2_bank_size_bytes() const {
+    return l2.total_size_bytes / noc.num_nodes();
+  }
+
+  /// Human-readable one-line summary for bench headers.
+  std::string summary() const;
+};
+
+}  // namespace disco

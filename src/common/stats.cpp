@@ -1,0 +1,17 @@
+#include "common/stats.h"
+
+namespace disco {
+
+std::uint64_t Histogram::approx_quantile(double q) const {
+  const std::uint64_t total = acc_.count();
+  if (total == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) return 1ULL << i;
+  }
+  return 1ULL << (kBuckets - 1);
+}
+
+}  // namespace disco

@@ -1,0 +1,28 @@
+// ASCII table rendering for the benchmark harness: every figure/table bench
+// prints its rows through TablePrinter so output format is uniform and easy
+// to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace disco {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: format doubles with fixed precision.
+  static std::string fmt(double v, int precision = 3);
+  static std::string pct(double v, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace disco

@@ -1,0 +1,34 @@
+#include "common/types.h"
+
+namespace disco {
+
+const char* to_string(Scheme s) {
+  switch (s) {
+    case Scheme::Baseline: return "Baseline";
+    case Scheme::CC: return "CC";
+    case Scheme::CNC: return "CNC";
+    case Scheme::DISCO: return "DISCO";
+    case Scheme::Ideal: return "Ideal";
+  }
+  return "?";
+}
+
+const char* to_string(UnitKind k) {
+  switch (k) {
+    case UnitKind::Core: return "Core";
+    case UnitKind::L2Bank: return "L2Bank";
+    case UnitKind::MemCtrl: return "MemCtrl";
+  }
+  return "?";
+}
+
+const char* to_string(VNet v) {
+  switch (v) {
+    case VNet::Request: return "Request";
+    case VNet::Response: return "Response";
+    case VNet::Coherence: return "Coherence";
+  }
+  return "?";
+}
+
+}  // namespace disco

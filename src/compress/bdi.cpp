@@ -1,0 +1,158 @@
+#include "compress/bdi.h"
+
+#include <cstring>
+#include <optional>
+
+namespace disco::compress {
+namespace {
+
+// Encoding ids (tag byte values). kRawTag=0xFF is the shared raw fallback.
+enum Tag : std::uint8_t {
+  kZeros = 0,
+  kRep8 = 1,
+  // base_bytes x delta_bytes:
+  kB8D1 = 2,
+  kB8D2 = 3,
+  kB8D4 = 4,
+  kB4D1 = 5,
+  kB4D2 = 6,
+  kB2D1 = 7,
+};
+
+struct Shape {
+  unsigned base_bytes;
+  unsigned delta_bytes;
+};
+
+std::optional<Shape> shape_of(std::uint8_t tag) {
+  switch (tag) {
+    case kB8D1: return Shape{8, 1};
+    case kB8D2: return Shape{8, 2};
+    case kB8D4: return Shape{8, 4};
+    case kB4D1: return Shape{4, 1};
+    case kB4D2: return Shape{4, 2};
+    case kB2D1: return Shape{2, 1};
+    default: return std::nullopt;
+  }
+}
+
+std::uint64_t load_elem(const BlockBytes& b, unsigned base_bytes, std::size_t i) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, b.data() + i * base_bytes, base_bytes);
+  return v;
+}
+
+bool fits_signed(std::int64_t v, unsigned bytes) {
+  const std::int64_t lo = -(1LL << (8 * bytes - 1));
+  const std::int64_t hi = (1LL << (8 * bytes - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+std::int64_t as_signed(std::uint64_t v, unsigned bytes) {
+  const unsigned shift = 64 - 8 * bytes;
+  return static_cast<std::int64_t>(v << shift) >> shift;
+}
+
+/// Attempt one (base,delta) shape; returns encoded bytes or nullopt.
+std::optional<Encoded> try_shape(const BlockBytes& block, std::uint8_t tag) {
+  const Shape s = *shape_of(tag);
+  const std::size_t n = kBlockBytes / s.base_bytes;
+  const std::size_t mask_bytes = (n + 7) / 8;
+
+  const std::uint64_t base = load_elem(block, s.base_bytes, 0);
+  std::vector<std::uint8_t> mask(mask_bytes, 0);
+  std::vector<std::int64_t> deltas(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t v = load_elem(block, s.base_bytes, i);
+    const auto d_base = as_signed(v - base, s.base_bytes);
+    const auto d_zero = as_signed(v, s.base_bytes);
+    if (fits_signed(d_base, s.delta_bytes)) {
+      deltas[i] = d_base;
+    } else if (fits_signed(d_zero, s.delta_bytes)) {
+      deltas[i] = d_zero;
+      mask[i / 8] |= static_cast<std::uint8_t>(1U << (i % 8));
+    } else {
+      return std::nullopt;
+    }
+  }
+
+  Encoded e;
+  e.bytes.reserve(1 + mask_bytes + s.base_bytes + n * s.delta_bytes);
+  e.bytes.push_back(tag);
+  e.bytes.insert(e.bytes.end(), mask.begin(), mask.end());
+  for (unsigned b = 0; b < s.base_bytes; ++b)
+    e.bytes.push_back(static_cast<std::uint8_t>(base >> (8 * b)));
+  for (const std::int64_t d : deltas) {
+    const auto ud = static_cast<std::uint64_t>(d);
+    for (unsigned b = 0; b < s.delta_bytes; ++b)
+      e.bytes.push_back(static_cast<std::uint8_t>(ud >> (8 * b)));
+  }
+  return e;
+}
+
+}  // namespace
+
+Encoded BdiAlgorithm::compress(const BlockBytes& block) const {
+  bool all_zero = true;
+  for (const auto byte : block) all_zero = all_zero && byte == 0;
+  if (all_zero) return Encoded{{kZeros}};
+
+  bool repeated = true;
+  for (std::size_t i = 8; i < kBlockBytes && repeated; ++i)
+    repeated = block[i] == block[i - 8];
+  if (repeated) {
+    Encoded e;
+    e.bytes.push_back(kRep8);
+    e.bytes.insert(e.bytes.end(), block.begin(), block.begin() + 8);
+    return e;
+  }
+
+  std::optional<Encoded> best;
+  for (std::uint8_t tag : {kB8D1, kB4D1, kB8D2, kB2D1, kB4D2, kB8D4}) {
+    auto e = try_shape(block, tag);
+    if (e && (!best || e->size() < best->size())) best = std::move(e);
+  }
+  if (best && best->size() < 1 + kBlockBytes) return std::move(*best);
+  return encode_raw(block);
+}
+
+BlockBytes BdiAlgorithm::decompress(std::span<const std::uint8_t> enc) const {
+  if (is_raw(enc)) return decode_raw(enc);
+  const std::uint8_t tag = enc.front();
+  if (tag == kZeros) return zero_block();
+  if (tag == kRep8) {
+    BlockBytes out{};
+    for (std::size_t i = 0; i < kBlockBytes; ++i) out[i] = enc[1 + (i % 8)];
+    return out;
+  }
+
+  const Shape s = *shape_of(tag);
+  const std::size_t n = kBlockBytes / s.base_bytes;
+  const std::size_t mask_bytes = (n + 7) / 8;
+  std::size_t pos = 1;
+  const std::uint8_t* mask = enc.data() + pos;
+  pos += mask_bytes;
+  std::uint64_t base = 0;
+  for (unsigned b = 0; b < s.base_bytes; ++b)
+    base |= static_cast<std::uint64_t>(enc[pos + b]) << (8 * b);
+  pos += s.base_bytes;
+
+  BlockBytes out{};
+  // Truncate base to its width so base+delta arithmetic wraps like hardware.
+  const std::uint64_t width_mask =
+      s.base_bytes == 8 ? ~0ULL : ((1ULL << (8 * s.base_bytes)) - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t ud = 0;
+    for (unsigned b = 0; b < s.delta_bytes; ++b)
+      ud |= static_cast<std::uint64_t>(enc[pos + b]) << (8 * b);
+    pos += s.delta_bytes;
+    const std::int64_t d = as_signed(ud, s.delta_bytes);
+    const bool zero_base = (mask[i / 8] >> (i % 8)) & 1U;
+    const std::uint64_t v =
+        ((zero_base ? 0ULL : base) + static_cast<std::uint64_t>(d)) & width_mask;
+    std::memcpy(out.data() + i * s.base_bytes, &v, s.base_bytes);
+  }
+  return out;
+}
+
+}  // namespace disco::compress

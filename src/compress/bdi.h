@@ -1,0 +1,25 @@
+// Base-Delta-Immediate compression (Pekhimenko et al., PACT 2012; paper
+// reference [5]). Tries all (base size, delta size) encodings plus the
+// special zero-block and repeated-value encodings and keeps the smallest.
+// Like the production BDI design, each element may alternatively use the
+// implicit zero base; a bitmask records the choice.
+//
+// Encoded layout: [tag][mask bytes][base: B bytes][N deltas of D bytes]
+// with (B, D) per encoding id; zeros -> 1 byte; repeated 8B value -> 9 bytes.
+#pragma once
+
+#include "compress/algorithm.h"
+
+namespace disco::compress {
+
+class BdiAlgorithm final : public Algorithm {
+ public:
+  std::string_view name() const override { return "bdi"; }
+  LatencyModel latency() const override { return {1, 3}; }  // Table 1: 1 / 1~5
+  double hardware_overhead() const override { return 0.023; }
+
+  Encoded compress(const BlockBytes& block) const override;
+  BlockBytes decompress(std::span<const std::uint8_t> enc) const override;
+};
+
+}  // namespace disco::compress

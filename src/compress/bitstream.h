@@ -1,0 +1,65 @@
+// Minimal MSB-first bit stream reader/writer used by the bit-granular
+// algorithms (FPC, SFPC, C-Pack, SC²). Encoded sizes are rounded up to whole
+// bytes, matching how a hardware packer would pad the last flit fragment.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace disco::compress {
+
+class BitWriter {
+ public:
+  /// Append the low `nbits` of `value`, MSB first.
+  void put(std::uint64_t value, unsigned nbits) {
+    assert(nbits <= 64);
+    for (unsigned i = nbits; i-- > 0;) put_bit((value >> i) & 1ULL);
+  }
+
+  void put_bit(bool bit) {
+    if (bit_pos_ == 0) bytes_.push_back(0);
+    if (bit) bytes_.back() |= static_cast<std::uint8_t>(1U << (7 - bit_pos_));
+    bit_pos_ = (bit_pos_ + 1) & 7;
+  }
+
+  std::size_t bit_count() const {
+    return bytes_.empty() ? 0 : (bytes_.size() - 1) * 8 + (bit_pos_ == 0 ? 8 : bit_pos_);
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  unsigned bit_pos_ = 0;  ///< next free bit within the last byte (0 == byte full/none)
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool get_bit() {
+    assert(pos_ / 8 < data_.size());
+    const std::uint8_t byte = data_[pos_ / 8];
+    const bool bit = (byte >> (7 - (pos_ & 7))) & 1U;
+    ++pos_;
+    return bit;
+  }
+
+  std::uint64_t get(unsigned nbits) {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < nbits; ++i) v = (v << 1) | (get_bit() ? 1ULL : 0ULL);
+    return v;
+  }
+
+  std::size_t bits_consumed() const { return pos_; }
+  bool exhausted() const { return pos_ >= data_.size() * 8; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace disco::compress

@@ -1,0 +1,32 @@
+// C-Pack cache compression (Chen et al., TVLSI 2010; paper reference [4]):
+// combines static frequent patterns with a small build-as-you-go dictionary
+// of recently seen 32-bit words. The decompressor reconstructs the same
+// dictionary, so no dictionary state is stored in the encoding.
+//
+// Per-word codes (as in the C-Pack paper):
+//   zzzz (00)            word == 0
+//   xxxx (01) + 32b      raw word, pushed into dictionary
+//   mmmm (10) + 4b       full dictionary match at index
+//   mmxx (1100) + 4b+16b high halfword matches dict entry, low half literal;
+//                        word pushed into dictionary
+//   zzzx (1101) + 8b     only lowest byte non-zero
+//   mmmx (1110) + 4b+8b  matches dict entry except lowest byte
+#pragma once
+
+#include "compress/algorithm.h"
+
+namespace disco::compress {
+
+class CpackAlgorithm final : public Algorithm {
+ public:
+  std::string_view name() const override { return "cpack"; }
+  LatencyModel latency() const override { return {6, 8}; }  // Table 1 decomp 8
+  /// Table 1 leaves C-Pack's overhead blank; the C-Pack paper reports ~6.7%
+  /// of a 2MB L2 for a pair of (de)compressors.
+  double hardware_overhead() const override { return 0.067; }
+
+  Encoded compress(const BlockBytes& block) const override;
+  BlockBytes decompress(std::span<const std::uint8_t> enc) const override;
+};
+
+}  // namespace disco::compress

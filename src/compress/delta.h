@@ -1,0 +1,29 @@
+// The paper's illustrative delta-based compressor (section 3.2, Fig. 4):
+// the first 8-byte flit is base BF0, a zero flit is the second base, and the
+// remaining seven flits are encoded as per-flit deltas against whichever
+// base yields a fitting difference. Delta width is uniform per block
+// (1, 2 or 4 bytes); a bitmask records the chosen base per flit.
+//
+// Encoded layout:
+//   [tag][mask][base: 8B][7 deltas of ds bytes each]
+//   tag: 0xFF raw fallback, 0xFE all-zero block, else ds code in bits[1:0]
+//        (0 -> 1B, 1 -> 2B, 2 -> 4B deltas)
+// Sizes: zero block = 1B; ds=1 -> 17B (the paper's "1BF + 7dF" form);
+// ds=2 -> 24B; ds=4 -> 38B; incompressible -> 65B raw.
+#pragma once
+
+#include "compress/algorithm.h"
+
+namespace disco::compress {
+
+class DeltaAlgorithm final : public Algorithm {
+ public:
+  std::string_view name() const override { return "delta"; }
+  LatencyModel latency() const override { return {1, 3}; }  // Table 2
+  double hardware_overhead() const override { return 0.023; }
+
+  Encoded compress(const BlockBytes& block) const override;
+  BlockBytes decompress(std::span<const std::uint8_t> enc) const override;
+};
+
+}  // namespace disco::compress

@@ -1,0 +1,35 @@
+// Frequent Pattern Compression (Alameldeen & Wood, ISCA 2004; paper
+// reference [2]). Each 32-bit word gets a 3-bit prefix selecting one of
+// seven frequent patterns (zero runs, sign-extended narrow values, padded
+// halfwords, repeated bytes) or a raw 32-bit fallback.
+//
+// SFPC is the paper's "simplified FPC" (Table 1): a 2-bit prefix over a
+// reduced pattern set, trading compression ratio (1.33 vs 1.5) for a
+// shallower decompressor pipeline (4 vs 5 cycles).
+#pragma once
+
+#include "compress/algorithm.h"
+
+namespace disco::compress {
+
+class FpcAlgorithm final : public Algorithm {
+ public:
+  std::string_view name() const override { return "fpc"; }
+  LatencyModel latency() const override { return {3, 5}; }  // Table 1 decomp 5
+  double hardware_overhead() const override { return 0.08; }
+
+  Encoded compress(const BlockBytes& block) const override;
+  BlockBytes decompress(std::span<const std::uint8_t> enc) const override;
+};
+
+class SfpcAlgorithm final : public Algorithm {
+ public:
+  std::string_view name() const override { return "sfpc"; }
+  LatencyModel latency() const override { return {2, 4}; }  // Table 1 decomp 4
+  double hardware_overhead() const override { return 0.08; }
+
+  Encoded compress(const BlockBytes& block) const override;
+  BlockBytes decompress(std::span<const std::uint8_t> enc) const override;
+};
+
+}  // namespace disco::compress

@@ -1,0 +1,31 @@
+#include "compress/registry.h"
+
+#include <stdexcept>
+
+#include "compress/bdi.h"
+#include "compress/cpack.h"
+#include "compress/delta.h"
+#include "compress/fpc.h"
+#include "compress/fvc.h"
+#include "compress/sc2.h"
+#include "compress/zerobit.h"
+
+namespace disco::compress {
+
+std::unique_ptr<Algorithm> make_algorithm(std::string_view name) {
+  if (name == "delta") return std::make_unique<DeltaAlgorithm>();
+  if (name == "bdi") return std::make_unique<BdiAlgorithm>();
+  if (name == "fpc") return std::make_unique<FpcAlgorithm>();
+  if (name == "sfpc") return std::make_unique<SfpcAlgorithm>();
+  if (name == "cpack") return std::make_unique<CpackAlgorithm>();
+  if (name == "sc2") return std::make_unique<Sc2Algorithm>();
+  if (name == "fvc") return std::make_unique<FvcAlgorithm>();
+  if (name == "zerobit") return std::make_unique<ZeroBitAlgorithm>();
+  throw std::invalid_argument("unknown compression algorithm: " + std::string(name));
+}
+
+std::vector<std::string> algorithm_names() {
+  return {"fpc", "sfpc", "bdi", "sc2", "cpack", "delta", "fvc", "zerobit"};
+}
+
+}  // namespace disco::compress

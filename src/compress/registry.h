@@ -1,0 +1,21 @@
+// Name-based factory for compression algorithms, so experiments select the
+// algorithm by string (as the bench harness and SystemConfig do).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compress/algorithm.h"
+
+namespace disco::compress {
+
+/// Create an algorithm by name: "delta", "bdi", "fpc", "sfpc", "cpack",
+/// "sc2". Throws std::invalid_argument for unknown names.
+std::unique_ptr<Algorithm> make_algorithm(std::string_view name);
+
+/// All registered algorithm names, in Table-1 order.
+std::vector<std::string> algorithm_names();
+
+}  // namespace disco::compress

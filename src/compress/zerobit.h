@@ -1,0 +1,22 @@
+// Zero-bit packing (Das et al., HPCA 2008 — the paper's reference [10]):
+// network messages are compressed by eliding zero bytes. Each 32-bit word
+// carries a 4-bit zero-byte mask followed by its non-zero bytes.
+//
+// Encoding: [tag][16 x (4-bit mask + nonzero bytes)]
+#pragma once
+
+#include "compress/algorithm.h"
+
+namespace disco::compress {
+
+class ZeroBitAlgorithm final : public Algorithm {
+ public:
+  std::string_view name() const override { return "zerobit"; }
+  LatencyModel latency() const override { return {1, 2}; }
+  double hardware_overhead() const override { return 0.03; }
+
+  Encoded compress(const BlockBytes& block) const override;
+  BlockBytes decompress(std::span<const std::uint8_t> enc) const override;
+};
+
+}  // namespace disco::compress

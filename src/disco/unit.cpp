@@ -1,0 +1,228 @@
+#include "disco/unit.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace disco::core {
+
+using noc::VcId;
+using noc::VirtualChannel;
+
+DiscoUnit::DiscoUnit(noc::Router& router, const DiscoConfig& cfg,
+                     const compress::Algorithm& algo,
+                     compress::LatencyModel latency, noc::NocStats& stats)
+    : router_(router), cfg_(cfg), algo_(algo), latency_(latency), stats_(stats) {
+  engines_.resize(std::max<std::uint32_t>(cfg_.engines_per_router, 1));
+  cc_th_ = cfg_.cc_threshold;
+  cd_th_ = cfg_.cd_threshold;
+  next_adapt_ = cfg_.adapt_window_cycles;
+}
+
+bool DiscoUnit::engine_available() const {
+  return std::any_of(engines_.begin(), engines_.end(),
+                     [](const Engine& e) { return !e.busy; });
+}
+
+std::size_t DiscoUnit::busy_engines() const {
+  return static_cast<std::size_t>(
+      std::count_if(engines_.begin(), engines_.end(),
+                    [](const Engine& e) { return e.busy; }));
+}
+
+double DiscoUnit::compression_confidence(const VcId& v) const {
+  const VirtualChannel& ch = router_.vc(v);
+  const double remote = router_.downstream_occupancy(ch.out_port);
+  const double local = router_.competing_vcs(ch.out_port, v);
+  return remote + cfg_.gamma * local;  // Eq. 1
+}
+
+double DiscoUnit::decompression_confidence(const VcId& v) const {
+  const VirtualChannel& ch = router_.vc(v);
+  const noc::PacketPtr pkt = ch.head_packet();
+  const double remote = router_.downstream_occupancy(ch.out_port);
+  const double local = router_.competing_vcs(ch.out_port, v);
+  const double hops = pkt ? router_.hops_to(pkt->dst) : 0.0;
+  return remote + cfg_.alpha * local - cfg_.beta * hops;  // Eq. 2
+}
+
+void DiscoUnit::after_allocation(Cycle now, const std::vector<VcId>& losers) {
+  if (!engine_available() || losers.empty()) return;
+
+  // Packet filter + confidence counter (Fig. 3).
+  Candidate best;
+  bool found = false;
+  for (const VcId& v : losers) {
+    VirtualChannel& ch = router_.vc(v);
+    const noc::PacketPtr pkt = ch.head_packet();
+    if (!pkt || !pkt->has_data || ch.engine_busy || ch.sent_flits != 0) continue;
+
+    if (pkt->compressible && !pkt->compressed() && !pkt->comp_failed &&
+        !pkt->decompressed_in_network) {
+      // Compressing a block that is about to be consumed raw would only
+      // re-expose decompression latency at the NI (packet-filter rule).
+      if (pkt->dst_unit != UnitKind::L2Bank && router_.hops_to(pkt->dst) <= 1)
+        continue;
+      // Whole-packet residency is required unless separate-flit compression
+      // (section 3.3A) is enabled; at least the head group must be here.
+      const bool resident = ch.whole_packet_resident();
+      if (!resident && !(cfg_.separate_flit_compression &&
+                         ch.buffered_flits_of_head() >= 2)) {
+        continue;
+      }
+      const double c = compression_confidence(v);
+      if (c > cc_th_) {
+        if (!found || c > best.confidence) {
+          best = {v, /*decompress=*/false, c};
+          found = true;
+        }
+      } else {
+        ++window_rejections_;
+      }
+    } else if (pkt->compressed() && pkt->dst_unit != UnitKind::L2Bank) {
+      // Decompress only blocks heading to a raw consumer (core L1 / DRAM);
+      // bank-bound blocks are stored compressed, so early decompression
+      // would only waste bandwidth (the RC_Hop rationale of Eq. 2).
+      if (!ch.whole_packet_resident()) continue;
+      const double c = decompression_confidence(v);
+      if (c > cd_th_) {
+        if (!found || c > best.confidence) {
+          best = {v, /*decompress=*/true, c};
+          found = true;
+        }
+      } else {
+        ++window_rejections_;
+      }
+    }
+  }
+  if (!found) return;
+
+  for (Engine& eng : engines_) {
+    if (!eng.busy) {
+      start(eng, best, now);
+      return;
+    }
+  }
+}
+
+void DiscoUnit::start(Engine& eng, const Candidate& cand, Cycle now) {
+  VirtualChannel& ch = router_.vc(cand.vc);
+  noc::PacketPtr pkt = ch.head_packet();
+  assert(pkt);
+
+  eng.busy = true;
+  eng.decompress = cand.decompress;
+  eng.vc = cand.vc;
+  eng.pkt = pkt;
+  eng.old_flit_count = pkt->flit_count();
+  eng.awaiting_residency = !ch.whole_packet_resident();
+  eng.done_at =
+      now + (cand.decompress ? latency_.decomp_cycles : latency_.comp_cycles);
+
+  if (!cand.decompress) {
+    eng.result = algo_.compress(pkt->data);
+    if (cfg_.separate_flit_compression && eng.awaiting_residency) {
+      // Separately compressed flit groups carry concatenation tags so the
+      // bubble between groups can be merged away (section 3.3A); model the
+      // tag overhead as two extra bytes.
+      eng.result.bytes.push_back(0);
+      eng.result.bytes.push_back(0);
+    }
+    if (eng.result.size() >= kBlockBytes) {
+      // Incompressible: the attempt still occupies the engine, and the
+      // packet is marked so the arbitrator does not retry it every cycle.
+      pkt->comp_failed = true;
+    }
+  }
+
+  ch.engine_busy = true;
+  ch.sa_inhibit = !cfg_.non_blocking;
+  ++stats_.engine_starts;
+}
+
+void DiscoUnit::on_shadow_departed(const VcId& v) {
+  for (Engine& eng : engines_) {
+    if (!eng.busy || !(eng.vc == v)) continue;
+    // Mis-predicted stall: the port freed up and the scheduler sent the
+    // shadow packet; invalidate the flits under process (non-blocking op).
+    ++stats_.compression_aborts;
+    ++window_aborts_;
+    release(eng);
+    return;
+  }
+}
+
+void DiscoUnit::tick(Cycle now) {
+  if (cfg_.adaptive_thresholds && now >= next_adapt_) adapt_thresholds(now);
+  for (Engine& eng : engines_) {
+    if (!eng.busy || eng.done_at > now) continue;
+    VirtualChannel& ch = router_.vc(eng.vc);
+    if (ch.head_packet() != eng.pkt || ch.sent_flits != 0) {
+      // The shadow left between allocation and completion; treat as abort.
+      ++stats_.compression_aborts;
+      release(eng);
+      continue;
+    }
+    if (eng.awaiting_residency && !ch.whole_packet_resident()) {
+      // Separate-flit mode: earlier groups are done, wait for the tail.
+      eng.done_at = now + 1;
+      continue;
+    }
+    complete(eng, now);
+  }
+}
+
+void DiscoUnit::complete(Engine& eng, Cycle now) {
+  noc::PacketPtr pkt = eng.pkt;
+  const std::uint32_t old_count = pkt->flit_count();
+
+  if (eng.decompress) {
+    pkt->apply_decompression(algo_);
+    pkt->decompressed_in_network = true;
+    const bool ok = router_.rebuild_head_packet(eng.vc, old_count, now);
+    assert(ok && "decompression rebuild must succeed for a resident shadow");
+    (void)ok;
+    ++stats_.inflight_decompressions;
+  } else if (eng.result.size() < kBlockBytes) {
+    pkt->apply_compression(std::move(eng.result));
+    const bool ok = router_.rebuild_head_packet(eng.vc, old_count, now);
+    assert(ok && "compression rebuild must succeed for a resident shadow");
+    (void)ok;
+    ++stats_.inflight_compressions;
+  }
+  // else: incompressible attempt, nothing to apply.
+  ++window_completions_;
+  release(eng);
+}
+
+void DiscoUnit::adapt_thresholds(Cycle now) {
+  next_adapt_ = now + cfg_.adapt_window_cycles;
+  const std::uint64_t decided = window_aborts_ + window_completions_;
+  if (decided >= 8) {
+    const double abort_rate =
+        static_cast<double>(window_aborts_) / static_cast<double>(decided);
+    if (abort_rate > cfg_.adapt_target_abort_rate * 1.25) {
+      // Hasty decisions: demand more evidence of a long stall.
+      cc_th_ = std::min(cc_th_ * 1.5, 64.0);
+      cd_th_ = std::min(cd_th_ * 1.5, 64.0);
+    } else if (abort_rate < cfg_.adapt_target_abort_rate * 0.5 &&
+               window_rejections_ > decided) {
+      // Engines starved while candidates were rejected: loosen.
+      cc_th_ = std::max(cc_th_ * 0.75, 0.25);
+      cd_th_ = std::max(cd_th_ * 0.75, 0.25);
+    }
+  } else if (window_rejections_ > 32) {
+    // No operations at all but plenty of rejected candidates: loosen.
+    cc_th_ = std::max(cc_th_ * 0.75, 0.25);
+    cd_th_ = std::max(cd_th_ * 0.75, 0.25);
+  }
+  window_aborts_ = window_completions_ = window_rejections_ = 0;
+}
+
+void DiscoUnit::release(Engine& eng) {
+  VirtualChannel& ch = router_.vc(eng.vc);
+  ch.engine_busy = false;
+  ch.sa_inhibit = false;
+  eng = Engine{};
+}
+
+}  // namespace disco::core

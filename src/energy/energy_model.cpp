@@ -1,0 +1,84 @@
+#include "energy/energy_model.h"
+
+#include "energy/params.h"
+
+namespace disco::energy {
+namespace {
+constexpr double kPjToNj = 1e-3;
+}
+
+std::uint32_t compressor_units(Scheme scheme, std::uint32_t nodes) {
+  switch (scheme) {
+    case Scheme::Baseline: return 0;
+    case Scheme::CC: return nodes;          // one per L2 bank
+    case Scheme::CNC: return 2 * nodes;     // per bank + per NI
+    case Scheme::DISCO: return nodes;       // one per router
+    case Scheme::Ideal: return nodes;
+  }
+  return 0;
+}
+
+EnergyBreakdown compute_energy(const noc::NocStats& noc,
+                               const cache::CacheStats& cache,
+                               const SystemConfig& cfg, Cycle cycles,
+                               double algo_overhead_factor) {
+  EnergyBreakdown e;
+  const double nodes = cfg.noc.num_nodes();
+
+  e.noc_dynamic_nj =
+      kPjToNj * (static_cast<double>(noc.buffer_writes) * kBufferWritePj +
+                 static_cast<double>(noc.buffer_reads) * kBufferReadPj +
+                 static_cast<double>(noc.crossbar_traversals) * kCrossbarPj +
+                 static_cast<double>(noc.link_flits) * kLinkTraversalPj +
+                 static_cast<double>(noc.alloc_ops) * kArbitrationPj);
+  e.noc_leakage_nj =
+      kPjToNj * nodes * static_cast<double>(cycles) * kRouterLeakagePjPerCycle;
+
+  e.l2_dynamic_nj =
+      kPjToNj * (static_cast<double>(cache.l2_array_reads) * kL2ReadPj +
+                 static_cast<double>(cache.l2_array_writes) * kL2WritePj);
+  e.l2_leakage_nj = kPjToNj * nodes * static_cast<double>(cycles) *
+                    kL2BankLeakagePjPerCycle;
+
+  // Dynamic compression energy: every encode/decode event anywhere —
+  // bank-side, NI-side, or in-router (engine starts count even when the
+  // operation aborts: the pipeline still burned the energy) — scaled by the
+  // algorithm's hardware complexity relative to the delta datapath.
+  const double comp_ops = static_cast<double>(
+      cache.bank_compressions + noc.ni_compressions + noc.source_compressions);
+  const double decomp_ops = static_cast<double>(cache.bank_decompressions +
+                                                noc.ni_decompressions);
+  const double engine_ops = static_cast<double>(noc.engine_starts);
+  const double scale = algo_overhead_factor;
+  e.compressor_dynamic_nj =
+      kPjToNj *
+      (comp_ops * kCompressOpPj * scale + decomp_ops * kDecompressOpPj * scale +
+       engine_ops * 0.5 * (kCompressOpPj + kDecompressOpPj) * scale +
+       static_cast<double>(noc.sa_idle_losses) * kConfidenceEvalPj *
+           (cfg.scheme == Scheme::DISCO ? 1.0 : 0.0));
+
+  const double units = compressor_units(cfg.scheme, cfg.noc.num_nodes());
+  e.compressor_leakage_nj =
+      kPjToNj * static_cast<double>(cycles) *
+      (units * kCompressorLeakagePjPerCycle * scale +
+       (cfg.scheme == Scheme::DISCO ? nodes * kArbitratorLeakagePjPerCycle : 0.0));
+
+  e.dram_nj = kPjToNj * static_cast<double>(cache.dram_reads + cache.dram_writes) *
+              kDramAccessPj;
+  return e;
+}
+
+AreaReport compute_area(Scheme scheme, std::uint32_t nodes,
+                        double algo_overhead_factor) {
+  AreaReport a;
+  a.router_mm2 = nodes * kRouterAreaMm2;
+  const double unit = kRouterAreaMm2 * kDiscoUnitAreaFraction *
+                      (algo_overhead_factor / 1.0);
+  a.compression_mm2 = compressor_units(scheme, nodes) * unit;
+  a.nuca_mm2 = kNucaArea4MbMm2 * (static_cast<double>(nodes) / 16.0);
+  a.overhead_vs_router = a.router_mm2 > 0 ? a.compression_mm2 / a.router_mm2 : 0;
+  a.overhead_vs_nuca = a.nuca_mm2 > 0 ? a.compression_mm2 / a.nuca_mm2 : 0;
+  return a;
+}
+
+}  // namespace disco::energy

@@ -1,0 +1,52 @@
+// Converts the event counters collected during a run into an energy
+// breakdown of the on-chip memory subsystem (NoC + NUCA L2 + compression
+// hardware), following the paper's Fig. 7 accounting. Compression-unit
+// leakage scales with how many units a scheme instantiates (the CNC-vs-
+// DISCO hardware argument of sections 1 and 4.3).
+#pragma once
+
+#include "cache/stats.h"
+#include "common/config.h"
+#include "noc/noc_stats.h"
+
+namespace disco::energy {
+
+struct EnergyBreakdown {
+  double noc_dynamic_nj = 0;
+  double noc_leakage_nj = 0;
+  double l2_dynamic_nj = 0;
+  double l2_leakage_nj = 0;
+  double compressor_dynamic_nj = 0;
+  double compressor_leakage_nj = 0;
+  double dram_nj = 0;  ///< off-chip, reported separately
+
+  /// On-chip memory-subsystem energy (the Fig. 7 metric).
+  double subsystem_nj() const {
+    return noc_dynamic_nj + noc_leakage_nj + l2_dynamic_nj + l2_leakage_nj +
+           compressor_dynamic_nj + compressor_leakage_nj;
+  }
+};
+
+/// Number of de/compressor units a scheme instantiates on a CMP with
+/// `nodes` tiles: CC = one per bank, CNC = one per bank + one per NI,
+/// DISCO = one per router (+ arbitrator), Baseline = none.
+std::uint32_t compressor_units(Scheme scheme, std::uint32_t nodes);
+
+EnergyBreakdown compute_energy(const noc::NocStats& noc,
+                               const cache::CacheStats& cache,
+                               const SystemConfig& cfg, Cycle cycles,
+                               double algo_overhead_factor);
+
+// --- area model (section 4.3) ---
+struct AreaReport {
+  double router_mm2 = 0;            ///< all routers, no compression HW
+  double compression_mm2 = 0;       ///< all de/compressor + arbitrator units
+  double nuca_mm2 = 0;
+  double overhead_vs_router = 0;    ///< compression HW / router area
+  double overhead_vs_nuca = 0;      ///< compression HW / NUCA array area
+};
+
+AreaReport compute_area(Scheme scheme, std::uint32_t nodes,
+                        double algo_overhead_factor);
+
+}  // namespace disco::energy

@@ -1,0 +1,65 @@
+// One-cycle pipelined channels between routers: a flit link (one flit per
+// cycle) and a credit link (several credits per cycle are possible when a
+// DISCO compression retires buffer slots in bulk). Items pushed at cycle t
+// become visible to the consumer at cycle t+1, which makes the simulation
+// insensitive to component tick ordering.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+
+#include "common/types.h"
+#include "noc/packet.h"
+
+namespace disco::noc {
+
+template <typename T>
+class PipelinedChannel {
+ public:
+  void push(Cycle now, T item) { queue_.push_back({now + 1, std::move(item)}); }
+
+  /// Pop the next item that is visible at `now` (nullptr-like if none).
+  bool try_pop(Cycle now, T& out) {
+    if (queue_.empty() || queue_.front().ready > now) return false;
+    out = std::move(queue_.front().item);
+    queue_.pop_front();
+    return true;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    Cycle ready;
+    T item;
+  };
+  std::deque<Entry> queue_;
+};
+
+/// Flit wire: at most one flit per cycle is pushed by the sender (enforced
+/// by switch allocation, asserted here in debug builds).
+class FlitLink {
+ public:
+  void push(Cycle now, Flit flit) {
+    assert(last_push_ != now + 1 && "two flits on one link in one cycle");
+    last_push_ = now + 1;
+    chan_.push(now, std::move(flit));
+  }
+  bool try_pop(Cycle now, Flit& out) { return chan_.try_pop(now, out); }
+  bool empty() const { return chan_.empty(); }
+
+ private:
+  PipelinedChannel<Flit> chan_;
+  Cycle last_push_ = static_cast<Cycle>(-1);
+};
+
+/// Credit wire: each event returns one buffer slot of one VC.
+struct Credit {
+  std::uint8_t vc = 0;
+};
+
+using CreditLink = PipelinedChannel<Credit>;
+
+}  // namespace disco::noc

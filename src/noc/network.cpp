@@ -1,0 +1,92 @@
+#include "noc/network.h"
+
+namespace disco::noc {
+namespace {
+
+Port opposite(Port p) {
+  switch (p) {
+    case Port::North: return Port::South;
+    case Port::South: return Port::North;
+    case Port::East: return Port::West;
+    case Port::West: return Port::East;
+    case Port::Local: return Port::Local;
+  }
+  return Port::Local;
+}
+
+}  // namespace
+
+Network::Network(const NocConfig& cfg, NiPolicy ni_policy, NocStats& stats,
+                 const ExtensionFactory& make_extension)
+    : mesh_{cfg.mesh_cols, cfg.mesh_rows}, cfg_(cfg), stats_(stats) {
+  const std::uint32_t n = mesh_.num_nodes();
+  routers_.reserve(n);
+  nis_.reserve(n);
+  for (NodeId node = 0; node < n; ++node) {
+    routers_.push_back(std::make_unique<Router>(node, mesh_, cfg_, stats_));
+    nis_.push_back(std::make_unique<NetworkInterface>(node, cfg_, ni_policy, stats_));
+  }
+
+  // Inter-router wiring: one flit link + one (reverse) credit link per
+  // directed neighbour edge. Create each once, from the sender's side.
+  for (NodeId node = 0; node < n; ++node) {
+    for (Port dir : {Port::North, Port::South, Port::East, Port::West}) {
+      const NodeId nb = mesh_.neighbor(node, dir);
+      if (nb == kInvalidNode) continue;
+      auto flit = std::make_unique<FlitLink>();
+      auto credit = std::make_unique<CreditLink>();
+      routers_[node]->connect_out_flit(dir, flit.get());
+      routers_[nb]->connect_in_flit(opposite(dir), flit.get());
+      routers_[nb]->connect_out_credit(opposite(dir), credit.get());
+      routers_[node]->connect_in_credit(dir, credit.get());
+      flit_links_.push_back(std::move(flit));
+      credit_links_.push_back(std::move(credit));
+    }
+
+    // NI <-> router local port.
+    auto inj = std::make_unique<FlitLink>();
+    auto ej = std::make_unique<FlitLink>();
+    auto inj_credit = std::make_unique<CreditLink>();
+    nis_[node]->connect_to_router(inj.get());
+    routers_[node]->connect_in_flit(Port::Local, inj.get());
+    routers_[node]->connect_out_flit(Port::Local, ej.get());
+    nis_[node]->connect_from_router(ej.get());
+    routers_[node]->connect_out_credit(Port::Local, inj_credit.get());
+    nis_[node]->connect_credits(inj_credit.get());
+    flit_links_.push_back(std::move(inj));
+    flit_links_.push_back(std::move(ej));
+    credit_links_.push_back(std::move(inj_credit));
+  }
+
+  if (make_extension) {
+    extensions_.reserve(n);
+    for (NodeId node = 0; node < n; ++node) {
+      extensions_.push_back(make_extension(*routers_[node]));
+      routers_[node]->set_extension(extensions_.back().get());
+    }
+  }
+}
+
+void Network::tick(Cycle now) {
+  // Channels are 1-cycle pipelined, so intra-cycle ordering is immaterial.
+  for (auto& r : routers_) r->tick(now);
+  for (auto& ni : nis_) ni->tick(now);
+}
+
+bool Network::credits_quiescent() const {
+  for (const auto& r : routers_)
+    if (!r->credits_quiescent()) return false;
+  return true;
+}
+
+bool Network::quiescent() const {
+  for (const auto& r : routers_)
+    if (!r->quiescent()) return false;
+  for (const auto& ni : nis_)
+    if (!ni->idle()) return false;
+  for (const auto& l : flit_links_)
+    if (!l->empty()) return false;
+  return true;
+}
+
+}  // namespace disco::noc

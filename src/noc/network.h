@@ -1,0 +1,59 @@
+// The mesh network: owns routers, NIs and all inter-node wiring. The DISCO
+// in-router machinery is attached through an extension factory so this
+// module stays independent of src/disco.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "noc/ni.h"
+#include "noc/router.h"
+
+namespace disco::noc {
+
+class Network {
+ public:
+  using ExtensionFactory =
+      std::function<std::unique_ptr<RouterExtension>(Router&)>;
+
+  /// `make_extension` may be null (plain routers: Baseline/CC/CNC/Ideal).
+  Network(const NocConfig& cfg, NiPolicy ni_policy, NocStats& stats,
+          const ExtensionFactory& make_extension = nullptr);
+
+  const MeshShape& mesh() const { return mesh_; }
+  const NocConfig& config() const { return cfg_; }
+
+  Router& router(NodeId n) { return *routers_[n]; }
+  NetworkInterface& ni(NodeId n) { return *nis_[n]; }
+
+  void register_sink(NodeId n, UnitKind unit, PacketSink* sink) {
+    nis_[n]->register_sink(unit, sink);
+  }
+
+  void inject(NodeId n, PacketPtr pkt, Cycle now) { nis_[n]->inject(std::move(pkt), now); }
+
+  void tick(Cycle now);
+
+  /// True when no flit is buffered or in flight anywhere.
+  bool quiescent() const;
+
+  /// True when every router's credit counters are back at full depth
+  /// (call only when quiescent(); verifies credit conservation across all
+  /// in-flight compressions/expansions of the run).
+  bool credits_quiescent() const;
+
+ private:
+  MeshShape mesh_;
+  NocConfig cfg_;
+  NocStats& stats_;
+
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  std::vector<std::unique_ptr<RouterExtension>> extensions_;
+  std::vector<std::unique_ptr<FlitLink>> flit_links_;
+  std::vector<std::unique_ptr<CreditLink>> credit_links_;
+};
+
+}  // namespace disco::noc

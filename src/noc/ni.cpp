@@ -1,0 +1,197 @@
+#include "noc/ni.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace disco::noc {
+
+NetworkInterface::NetworkInterface(NodeId node, const NocConfig& cfg,
+                                   NiPolicy policy, NocStats& stats)
+    : node_(node), cfg_(cfg), policy_(policy), stats_(stats) {
+  vc_credits_.assign(cfg_.num_vcs(), cfg_.vc_depth_flits);
+  vc_taken_.assign(cfg_.num_vcs(), false);
+}
+
+void NetworkInterface::inject(PacketPtr pkt, Cycle now) {
+  Cycle ready = now;
+  if (policy_.compress_on_inject && pkt->has_data && !pkt->compressed()) {
+    assert(policy_.algo != nullptr);
+    compress::Encoded enc = policy_.algo->compress(pkt->data);
+    ++stats_.ni_compressions;
+    stats_.exposed_comp_cycles += policy_.comp_cycles;
+    ready += policy_.comp_cycles;
+    if (enc.size() < kBlockBytes) pkt->apply_compression(std::move(enc));
+    // Incompressible blocks travel raw; the compression attempt still cost
+    // the pipeline latency and energy.
+  }
+  inject_q_[static_cast<std::size_t>(pkt->vnet)].push_back(
+      {std::move(pkt), ready, now});
+}
+
+void NetworkInterface::tick(Cycle now) {
+  pump_credits(now);
+  pump_ejection(now);
+  pump_delivery(now);
+  if (policy_.compress_when_source_queued) pump_source_compression(now);
+  pump_injection(now);
+}
+
+void NetworkInterface::pump_source_compression(Cycle now) {
+  // One engine operation per cycle: find the oldest queued compressible
+  // packet whose wait already covers the compression latency.
+  PendingInject* best = nullptr;
+  for (auto& q : inject_q_) {
+    for (auto& entry : q) {
+      PacketPtr& pkt = entry.pkt;
+      if (!pkt->has_data || !pkt->compressible || pkt->compressed() ||
+          pkt->comp_failed) {
+        continue;
+      }
+      if (now < entry.queued_at + policy_.comp_cycles) continue;
+      if (best == nullptr || entry.queued_at < best->queued_at) best = &entry;
+    }
+  }
+  if (best == nullptr) return;
+  assert(policy_.algo != nullptr);
+  compress::Encoded enc = policy_.algo->compress(best->pkt->data);
+  ++stats_.source_compressions;
+  if (enc.size() < kBlockBytes) {
+    best->pkt->apply_compression(std::move(enc));
+  } else {
+    best->pkt->comp_failed = true;
+  }
+}
+
+void NetworkInterface::pump_credits(Cycle now) {
+  if (credits_in_ == nullptr) return;
+  Credit c;
+  while (credits_in_->try_pop(now, c)) {
+    assert(c.vc < vc_credits_.size());
+    ++vc_credits_[c.vc];
+  }
+}
+
+void NetworkInterface::pump_ejection(Cycle now) {
+  if (from_router_ == nullptr) return;
+  Flit f;
+  while (from_router_->try_pop(now, f)) {
+    const std::uint32_t have = ++reassembly_[f.pkt->id];
+    if (have == f.pkt->flit_count()) {
+      reassembly_.erase(f.pkt->id);
+      finish_ejection(f.pkt, now);
+    }
+  }
+}
+
+void NetworkInterface::finish_ejection(PacketPtr pkt, Cycle now) {
+  Cycle deliver_at = now;
+  if (pkt->compressed()) {
+    const bool raw_consumer = pkt->dst_unit != UnitKind::L2Bank;
+    const bool must_decompress =
+        policy_.decompress_on_eject_all ||
+        (policy_.decompress_for_raw_consumers && raw_consumer);
+    if (must_decompress) {
+      assert(policy_.algo != nullptr);
+      pkt->apply_decompression(*policy_.algo);
+      ++stats_.ni_decompressions;
+      stats_.exposed_decomp_cycles += policy_.decomp_cycles;
+      deliver_at += policy_.decomp_cycles;
+    }
+  } else if (pkt->has_data && pkt->was_compressed &&
+             pkt->dst_unit != UnitKind::L2Bank) {
+    // A once-compressed packet arriving raw at a consumer: the in-network
+    // decompression latency was fully hidden by queuing time.
+    ++stats_.hidden_decomp_ops;
+  }
+  delivery_.push_back({std::move(pkt), deliver_at});
+}
+
+void NetworkInterface::pump_delivery(Cycle now) {
+  for (std::size_t i = 0; i < delivery_.size();) {
+    if (delivery_[i].deliver_at > now) {
+      ++i;
+      continue;
+    }
+    PacketPtr pkt = std::move(delivery_[i].pkt);
+    delivery_[i] = std::move(delivery_.back());
+    delivery_.pop_back();
+
+    pkt->ejected = now;
+    ++stats_.packets_ejected;
+    stats_.packet_latency[static_cast<std::size_t>(pkt->vnet)].add(
+        static_cast<double>(now - pkt->injected));
+    stats_.queueing_cycles.add(pkt->idle_cycles);
+
+    PacketSink* sink = sinks_[static_cast<std::size_t>(pkt->dst_unit)];
+    assert(sink != nullptr && "packet delivered to unregistered unit");
+    sink->deliver(std::move(pkt), now);
+  }
+}
+
+void NetworkInterface::pump_injection(Cycle now) {
+  // Start new sends: allocate a free VC in the vnet's range for queue heads.
+  for (std::size_t vn = 0; vn < kNumVNets; ++vn) {
+    if (active_[vn].has_value()) continue;
+    auto& q = inject_q_[vn];
+    if (q.empty() || q.front().ready_at > now) continue;
+    const std::uint32_t lo = static_cast<std::uint32_t>(vn) * cfg_.vcs_per_vnet;
+    const std::uint32_t hi = lo + cfg_.vcs_per_vnet;
+    for (std::uint32_t v = lo; v < hi; ++v) {
+      if (vc_taken_[v]) continue;
+      vc_taken_[v] = true;
+      active_[vn] = ActiveSend{std::move(q.front().pkt), static_cast<std::uint8_t>(v), 0};
+      q.pop_front();
+      break;
+    }
+  }
+
+  // One flit per cycle across all vnets, round-robin.
+  if (to_router_ == nullptr) return;
+  for (std::size_t i = 0; i < kNumVNets; ++i) {
+    const std::size_t vn = (rr_vnet_ + i) % kNumVNets;
+    if (!active_[vn].has_value()) continue;
+    ActiveSend& send = *active_[vn];
+    std::uint32_t needed = 1;
+    if (cfg_.flow_control == FlowControl::VirtualCutThrough &&
+        send.next_seq == 0) {
+      needed = send.pkt->flit_count();
+    }
+    if (vc_credits_[send.vc] < needed) continue;
+
+    Flit f;
+    f.pkt = send.pkt;
+    f.seq = send.next_seq;
+    f.vc_tag = send.vc;
+    to_router_->push(now, std::move(f));
+    --vc_credits_[send.vc];
+    ++stats_.flits_injected;
+    if (send.next_seq == 0) {
+      send.pkt->injected = now;
+      ++stats_.packets_injected;
+    }
+    ++send.next_seq;
+    if (send.next_seq == send.pkt->flit_count()) {
+      vc_taken_[send.vc] = false;
+      active_[vn].reset();
+    }
+    rr_vnet_ = static_cast<std::uint32_t>(vn + 1) % kNumVNets;
+    break;
+  }
+}
+
+bool NetworkInterface::idle() const {
+  if (!reassembly_.empty() || !delivery_.empty()) return false;
+  for (const auto& q : inject_q_)
+    if (!q.empty()) return false;
+  for (const auto& a : active_)
+    if (a.has_value()) return false;
+  return true;
+}
+
+std::size_t NetworkInterface::pending_injections() const {
+  std::size_t n = 0;
+  for (const auto& q : inject_q_) n += q.size();
+  return n;
+}
+
+}  // namespace disco::noc

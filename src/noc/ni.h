@@ -1,0 +1,115 @@
+// Network Interface (NI): packetizes protocol messages into flits, injects
+// them into the local router port (respecting VC ownership and credits),
+// reassembles ejected flits into packets, and applies the per-scheme NI
+// compression policy:
+//   - CNC:   compress every injected data packet, decompress every ejected one
+//   - DISCO: decompress at ejection only if the packet is still compressed
+//            and the consumer needs raw data (core L1, DRAM) — the exposed
+//            penalty the in-network machinery tries to hide
+//   - Ideal: CNC behaviour at zero latency
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "noc/link.h"
+#include "noc/noc_stats.h"
+#include "noc/vc.h"
+
+namespace disco::noc {
+
+/// Endpoint consuming ejected packets (cache controllers, memory controller).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver(PacketPtr pkt, Cycle now) = 0;
+};
+
+/// Per-scheme NI compression behaviour.
+struct NiPolicy {
+  const compress::Algorithm* algo = nullptr;
+  bool compress_on_inject = false;
+  bool decompress_on_eject_all = false;
+  bool decompress_for_raw_consumers = false;
+  /// DISCO: the router's local input port belongs to a DISCO router, so a
+  /// compressible packet stalled at the source (waiting for a VC/credits
+  /// behind other traffic) is an idling packet the in-router engine can
+  /// compress — its wait time fully hides the compression latency. One
+  /// operation per cycle, only after the packet has idled comp_cycles.
+  bool compress_when_source_queued = false;
+  std::uint32_t comp_cycles = 0;
+  std::uint32_t decomp_cycles = 0;
+};
+
+class NetworkInterface {
+ public:
+  NetworkInterface(NodeId node, const NocConfig& cfg, NiPolicy policy, NocStats& stats);
+
+  NodeId node() const { return node_; }
+
+  void connect_to_router(FlitLink* link) { to_router_ = link; }
+  void connect_from_router(FlitLink* link) { from_router_ = link; }
+  void connect_credits(CreditLink* link) { credits_in_ = link; }
+
+  void register_sink(UnitKind unit, PacketSink* sink) {
+    sinks_[static_cast<std::size_t>(unit)] = sink;
+  }
+
+  /// Queue a packet for injection. Applies the injection-side policy
+  /// (possible NI compression latency) before the first flit can leave.
+  void inject(PacketPtr pkt, Cycle now);
+
+  void tick(Cycle now);
+
+  bool idle() const;
+  std::size_t pending_injections() const;
+
+ private:
+  struct PendingInject {
+    PacketPtr pkt;
+    Cycle ready_at;
+    Cycle queued_at = 0;
+  };
+  struct ActiveSend {
+    PacketPtr pkt;
+    std::uint8_t vc = 0;
+    std::uint32_t next_seq = 0;
+  };
+  struct PendingDeliver {
+    PacketPtr pkt;
+    Cycle deliver_at;
+  };
+
+  void pump_credits(Cycle now);
+  void pump_ejection(Cycle now);
+  void pump_delivery(Cycle now);
+  void pump_injection(Cycle now);
+  void pump_source_compression(Cycle now);
+  void finish_ejection(PacketPtr pkt, Cycle now);
+
+  NodeId node_;
+  NocConfig cfg_;
+  NiPolicy policy_;
+  NocStats& stats_;
+
+  FlitLink* to_router_ = nullptr;
+  FlitLink* from_router_ = nullptr;
+  CreditLink* credits_in_ = nullptr;
+
+  std::array<std::deque<PendingInject>, kNumVNets> inject_q_;
+  std::array<std::optional<ActiveSend>, kNumVNets> active_;
+  std::vector<std::uint32_t> vc_credits_;
+  std::vector<bool> vc_taken_;
+  std::uint32_t rr_vnet_ = 0;
+
+  std::unordered_map<PacketId, std::uint32_t> reassembly_;
+  std::vector<PendingDeliver> delivery_;
+  std::array<PacketSink*, 3> sinks_{};
+};
+
+}  // namespace disco::noc

@@ -1,0 +1,53 @@
+// Aggregate NoC statistics and energy-relevant event counters. One instance
+// is shared by all routers/NIs of a network; the energy model converts the
+// event counts to joules after the run.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace disco::noc {
+
+struct NocStats {
+  // --- microarchitectural events (energy accounting) ---
+  std::uint64_t buffer_writes = 0;
+  std::uint64_t buffer_reads = 0;
+  std::uint64_t crossbar_traversals = 0;
+  std::uint64_t link_flits = 0;
+  std::uint64_t alloc_ops = 0;          ///< VA+SA arbitration operations
+  std::uint64_t credits_sent = 0;
+
+  // --- compression events ---
+  std::uint64_t inflight_compressions = 0;    ///< completed in-router compressions
+  std::uint64_t inflight_decompressions = 0;  ///< completed in-router decompressions
+  std::uint64_t source_compressions = 0;      ///< DISCO source-queue (local-port) compressions
+  std::uint64_t compression_aborts = 0;       ///< shadow packet departed mid-op
+  std::uint64_t engine_starts = 0;
+  std::uint64_t ni_compressions = 0;          ///< NI-side (CNC/Ideal) compressions
+  std::uint64_t ni_decompressions = 0;        ///< NI-side decompressions
+  std::uint64_t exposed_decomp_cycles = 0;    ///< de/comp latency on the critical path at NIs
+  std::uint64_t exposed_comp_cycles = 0;
+  std::uint64_t hidden_decomp_ops = 0;        ///< decompressions fully overlapped with queuing
+
+  // --- traffic / latency ---
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_ejected = 0;
+  std::uint64_t flits_injected = 0;
+  std::uint64_t sa_idle_losses = 0;  ///< packet-cycles spent losing allocation
+  Accumulator packet_latency[kNumVNets];  ///< inject->eject per vnet
+  Histogram queueing_cycles;              ///< per-packet idle cycles
+
+  double avg_packet_latency() const {
+    double sum = 0;
+    std::uint64_t n = 0;
+    for (const auto& acc : packet_latency) {
+      sum += acc.sum();
+      n += acc.count();
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+  }
+};
+
+}  // namespace disco::noc

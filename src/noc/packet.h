@@ -1,0 +1,105 @@
+// NoC packet and flit model. A packet is the unit of protocol transfer
+// (request / response / coherence message); it is serialized into 8-byte
+// flits for transmission. Data-bearing packets carry the ground-truth 64B
+// block plus, when compressed, the actual encoded bytes — so every
+// in-network de/compression is a real, checkable transformation.
+//
+// Flit accounting: the head flit carries routing info plus up to 8B of
+// payload, so an uncompressed data packet is 8 flits (fits an 8-flit VC,
+// Table 2) and a control packet is 1 flit.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "compress/algorithm.h"
+
+namespace disco::noc {
+
+using PacketId = std::uint64_t;
+
+struct Packet {
+  PacketId id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  UnitKind src_unit = UnitKind::Core;
+  UnitKind dst_unit = UnitKind::Core;
+  VNet vnet = VNet::Request;
+
+  /// Opaque protocol message id (cache layer defines the enum) and address.
+  std::uint8_t proto_msg = 0;
+  Addr addr = 0;
+
+  bool has_data = false;
+  bool compressible = false;  ///< response-class data packet (section 3.3C)
+  bool critical = false;      ///< read request/response: scheduling priority
+  bool comp_failed = false;   ///< a compression attempt found the block incompressible
+  bool was_compressed = false;  ///< travelled compressed at some point (stats)
+  bool from_dram = false;  ///< data grant whose fill required a DRAM access
+  /// Decompressed by a router near the destination (Eq. 2): the arbitrator
+  /// must not feed it back to a compressor, or the hidden latency would be
+  /// re-exposed at the consumer NI.
+  bool decompressed_in_network = false;
+
+  /// Ground-truth uncompressed payload (valid when has_data).
+  BlockBytes data{};
+  /// Wire form when travelling compressed.
+  std::optional<compress::Encoded> encoded;
+
+  // --- timing bookkeeping (set by NIs / system) ---
+  Cycle created = 0;
+  Cycle injected = 0;
+  Cycle ejected = 0;
+  std::uint32_t hops = 0;
+  std::uint32_t idle_cycles = 0;  ///< cycles spent losing SA (diagnostics)
+
+  bool compressed() const { return encoded.has_value(); }
+
+  std::size_t payload_bytes() const {
+    if (!has_data) return 0;
+    return compressed() ? encoded->size() : kBlockBytes;
+  }
+
+  /// Head flit + additional body flits; head carries the first 8B of payload.
+  std::uint32_t flit_count() const {
+    const std::size_t p = payload_bytes();
+    if (p <= kFlitBytes) return 1;
+    return 1 + static_cast<std::uint32_t>((p - kFlitBytes + kFlitBytes - 1) / kFlitBytes);
+  }
+
+  /// Apply a compression result (in-network or at an NI).
+  void apply_compression(compress::Encoded enc) {
+    assert(has_data && !compressed());
+    encoded = std::move(enc);
+    was_compressed = true;
+  }
+
+  /// Apply decompression: verifies losslessness against the ground truth.
+  void apply_decompression(const compress::Algorithm& algo) {
+    assert(has_data && compressed());
+    [[maybe_unused]] const BlockBytes out = algo.decompress(
+        std::span<const std::uint8_t>(encoded->bytes));
+    assert(out == data && "lossy de/compression in flight");
+    encoded.reset();
+  }
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/// A flit token referencing its parent packet. Rebuilt in place when an
+/// in-network de/compression changes the packet's flit count.
+struct Flit {
+  PacketPtr pkt;
+  std::uint32_t seq = 0;
+  std::uint8_t vc_tag = 0;  ///< downstream VC assigned by the upstream VA
+  Cycle arrival = 0;  ///< cycle this flit was written into the current buffer
+
+  bool is_head() const { return seq == 0; }
+  bool is_tail() const { return seq + 1 == pkt->flit_count(); }
+};
+
+}  // namespace disco::noc

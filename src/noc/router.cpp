@@ -1,0 +1,344 @@
+#include "noc/router.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace disco::noc {
+namespace {
+
+/// Effectively infinite credit pool for the ejection (Local) output: the NI
+/// reassembly buffer always sinks flits, which protocol-level deadlock
+/// freedom relies on.
+constexpr std::uint32_t kEjectionCredits = 1u << 30;
+
+}  // namespace
+
+Router::Router(NodeId id, const MeshShape& mesh, const NocConfig& cfg, NocStats& stats)
+    : id_(id), mesh_(mesh), cfg_(cfg), stats_(stats) {
+  const std::uint32_t vcs = cfg_.num_vcs();
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    input_[p].resize(vcs);
+    out_vc_taken_[p].assign(vcs, false);
+    const bool ejection = static_cast<Port>(p) == Port::Local;
+    credits_[p].assign(vcs, ejection ? kEjectionCredits : cfg_.vc_depth_flits);
+  }
+}
+
+void Router::tick(Cycle now) {
+  receive_credits(now);
+  receive_flits(now);
+  route_compute();
+  vc_allocate(now);
+
+  losers_scratch_.clear();
+  switch_allocate_and_traverse(now, losers_scratch_);
+
+  if (ext_ != nullptr) {
+    ext_->after_allocation(now, losers_scratch_);
+    ext_->tick(now);
+  }
+}
+
+void Router::receive_credits(Cycle now) {
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    if (in_credit_[p] == nullptr) continue;
+    Credit c;
+    while (in_credit_[p]->try_pop(now, c)) {
+      assert(c.vc < credits_[p].size());
+      ++credits_[p][c.vc];
+    }
+  }
+}
+
+void Router::receive_flits(Cycle now) {
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    if (in_flit_[p] == nullptr) continue;
+    Flit f;
+    while (in_flit_[p]->try_pop(now, f)) {
+      assert(f.vc_tag < input_[p].size());
+      f.arrival = now;
+      input_[p][f.vc_tag].buffer.push_back(std::move(f));
+      ++stats_.buffer_writes;
+    }
+  }
+}
+
+void Router::route_compute() {
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    for (auto& ch : input_[p]) {
+      if (ch.stage != VcStage::Idle || ch.buffer.empty()) continue;
+      const Flit& head = ch.buffer.front();
+      assert(head.is_head() && "mid-packet flit at VC head in Idle stage");
+      ch.out_port = xy_route(mesh_, id_, head.pkt->dst);
+      ch.head_arrival = head.arrival;
+      ch.stage = VcStage::VcAlloc;
+    }
+  }
+}
+
+void Router::vc_allocate(Cycle now) {
+  // Collect requests per output port.
+  std::array<std::vector<VcId>, kNumPorts> requests;
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    for (std::uint32_t v = 0; v < input_[p].size(); ++v) {
+      VirtualChannel& ch = input_[p][v];
+      if (ch.stage != VcStage::VcAlloc) continue;
+      if (now <= ch.head_arrival) continue;  // stage-2 pipeline constraint
+      requests[idx(ch.out_port)].push_back({static_cast<Port>(p), static_cast<std::uint8_t>(v)});
+    }
+  }
+
+  for (std::size_t out = 0; out < kNumPorts; ++out) {
+    auto& reqs = requests[out];
+    if (reqs.empty()) continue;
+    stats_.alloc_ops += reqs.size();
+    // Priority class first, then round-robin position.
+    const std::uint32_t rr = va_rr_[out];
+    std::stable_sort(reqs.begin(), reqs.end(), [&](const VcId& a, const VcId& b) {
+      const auto& ca = vc(a);
+      const auto& cb = vc(b);
+      const int pa = priority_class(*ca.head_packet(), cfg_.deprioritize_compressible);
+      const int pb = priority_class(*cb.head_packet(), cfg_.deprioritize_compressible);
+      if (pa != pb) return pa < pb;
+      const std::uint32_t ia = (static_cast<std::uint32_t>(a.port) * 8u + a.vc + 64u - rr) % 64u;
+      const std::uint32_t ib = (static_cast<std::uint32_t>(b.port) * 8u + b.vc + 64u - rr) % 64u;
+      return ia < ib;
+    });
+    bool granted_any = false;
+    for (const VcId& r : reqs) {
+      VirtualChannel& ch = vc(r);
+      const auto vnet = static_cast<std::uint32_t>(ch.head_packet()->vnet);
+      const std::uint32_t lo = vnet * cfg_.vcs_per_vnet;
+      const std::uint32_t hi = lo + cfg_.vcs_per_vnet;
+      for (std::uint32_t ov = lo; ov < hi; ++ov) {
+        if (out_vc_taken_[out][ov]) continue;
+        out_vc_taken_[out][ov] = true;
+        ch.out_vc = static_cast<std::uint8_t>(ov);
+        ch.stage = VcStage::Active;
+        granted_any = true;
+        break;
+      }
+    }
+    if (granted_any) va_rr_[out] = (va_rr_[out] + 1) % 64u;
+  }
+}
+
+bool Router::sa_eligible(const VirtualChannel& ch, Cycle now) const {
+  if (ch.stage != VcStage::Active || ch.buffer.empty()) return false;
+  if (ch.sa_inhibit) return false;  // blocking-mode engine lock
+  return ch.buffer.front().arrival + 2 <= now;
+}
+
+void Router::switch_allocate_and_traverse(Cycle now, std::vector<VcId>& losers) {
+  // Stage 1 (input arbitration): one candidate VC per input port.
+  std::array<int, kNumPorts> chosen_vc;
+  chosen_vc.fill(-1);
+  std::vector<VcId> stalled;  // eligible work that cannot move this cycle
+
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    int best = -1;
+    int best_prio = 0;
+    std::uint32_t best_rr = 0;
+    const std::uint32_t vcs = static_cast<std::uint32_t>(input_[p].size());
+    for (std::uint32_t v = 0; v < vcs; ++v) {
+      VirtualChannel& ch = input_[p][v];
+      if (!sa_eligible(ch, now)) {
+        // VA-blocked packets are also idling candidates for DISCO.
+        if (ch.stage == VcStage::VcAlloc && !ch.buffer.empty() &&
+            now > ch.head_arrival)
+          stalled.push_back({static_cast<Port>(p), static_cast<std::uint8_t>(v)});
+        continue;
+      }
+      // Wormhole forwards flit by flit; virtual cut-through (section 3.3A)
+      // only starts a packet when the downstream VC can hold all of it, so
+      // packets always sit whole in one node.
+      std::uint32_t needed_credits = 1;
+      if (cfg_.flow_control == FlowControl::VirtualCutThrough &&
+          ch.sent_flits == 0) {
+        needed_credits = ch.head_packet()->flit_count();
+      }
+      if (credits_[idx(ch.out_port)][ch.out_vc] < needed_credits) {
+        stalled.push_back({static_cast<Port>(p), static_cast<std::uint8_t>(v)});
+        continue;
+      }
+      const int prio = priority_class(*ch.head_packet(), cfg_.deprioritize_compressible);
+      const std::uint32_t rr_pos = (v + vcs - sa_in_rr_[p]) % vcs;
+      if (best < 0 || prio < best_prio || (prio == best_prio && rr_pos < best_rr)) {
+        if (best >= 0)
+          stalled.push_back({static_cast<Port>(p), static_cast<std::uint8_t>(best)});
+        best = static_cast<int>(v);
+        best_prio = prio;
+        best_rr = rr_pos;
+      } else {
+        stalled.push_back({static_cast<Port>(p), static_cast<std::uint8_t>(v)});
+      }
+    }
+    chosen_vc[p] = best;
+    if (best >= 0) stats_.alloc_ops += 1;
+  }
+
+  // Stage 2 (output arbitration): one input per output port.
+  std::array<int, kNumPorts> winner_input;
+  winner_input.fill(-1);
+  for (std::size_t out = 0; out < kNumPorts; ++out) {
+    int best_in = -1;
+    int best_prio = 0;
+    std::uint32_t best_rr = 0;
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+      if (chosen_vc[p] < 0) continue;
+      const VirtualChannel& ch = input_[p][static_cast<std::uint32_t>(chosen_vc[p])];
+      if (idx(ch.out_port) != out) continue;
+      const int prio = priority_class(*ch.head_packet(), cfg_.deprioritize_compressible);
+      const std::uint32_t rr_pos =
+          (static_cast<std::uint32_t>(p) + kNumPorts - sa_out_rr_[out]) % kNumPorts;
+      if (best_in < 0 || prio < best_prio || (prio == best_prio && rr_pos < best_rr)) {
+        if (best_in >= 0)
+          stalled.push_back({static_cast<Port>(best_in),
+                             static_cast<std::uint8_t>(chosen_vc[best_in])});
+        best_in = static_cast<int>(p);
+        best_prio = prio;
+        best_rr = rr_pos;
+      } else {
+        stalled.push_back(
+            {static_cast<Port>(p), static_cast<std::uint8_t>(chosen_vc[p])});
+      }
+    }
+    winner_input[out] = best_in;
+    if (best_in >= 0) sa_out_rr_[out] = (static_cast<std::uint32_t>(best_in) + 1) % kNumPorts;
+  }
+
+  // Stage 3: switch traversal for winners.
+  for (std::size_t out = 0; out < kNumPorts; ++out) {
+    const int p = winner_input[out];
+    if (p < 0) continue;
+    const VcId vid{static_cast<Port>(p), static_cast<std::uint8_t>(chosen_vc[p])};
+    VirtualChannel& ch = vc(vid);
+    sa_in_rr_[p] = (static_cast<std::uint32_t>(chosen_vc[p]) + 1) %
+                   static_cast<std::uint32_t>(input_[p].size());
+
+    Flit f = std::move(ch.buffer.front());
+    ch.buffer.pop_front();
+    const bool tail = f.is_tail();
+    f.vc_tag = ch.out_vc;
+    assert(out_flit_[out] != nullptr && "ST to unconnected port");
+    out_flit_[out]->push(now, std::move(f));
+
+    ++stats_.buffer_reads;
+    ++stats_.crossbar_traversals;
+    ++stats_.link_flits;
+
+    assert(credits_[out][ch.out_vc] > 0);
+    --credits_[out][ch.out_vc];
+    send_credit_for_pop(vid, now);
+
+    ++ch.sent_flits;
+    if (ch.engine_busy && ch.sent_flits == 1 && ext_ != nullptr) {
+      ext_->on_shadow_departed(vid);
+    }
+    if (tail) {
+      out_vc_taken_[out][ch.out_vc] = false;
+      ch.stage = VcStage::Idle;
+      ch.sent_flits = 0;
+    }
+  }
+
+  // Report stalls: eligible-but-not-moved VCs idle this cycle.
+  for (const VcId& v : stalled) {
+    VirtualChannel& ch = vc(v);
+    if (ch.buffer.empty()) continue;
+    ++ch.head_packet()->idle_cycles;
+    ++stats_.sa_idle_losses;
+    losers.push_back(v);
+  }
+}
+
+void Router::send_credit_for_pop(const VcId& v, Cycle now) {
+  VirtualChannel& ch = vc(v);
+  if (ch.credit_debt > 0) {
+    --ch.credit_debt;  // absorb the slot consumed by an earlier expansion
+    return;
+  }
+  if (out_credit_[idx(v.port)] == nullptr) return;
+  out_credit_[idx(v.port)]->push(now, Credit{v.vc});
+  ++stats_.credits_sent;
+}
+
+std::uint32_t Router::downstream_occupancy(Port out) const {
+  if (out == Port::Local) return 0;
+  const auto& pool = credits_[idx(out)];
+  std::uint32_t occupied = 0;
+  for (const std::uint32_t c : pool)
+    occupied += cfg_.vc_depth_flits - std::min(c, cfg_.vc_depth_flits);
+  return occupied;
+}
+
+std::uint32_t Router::competing_vcs(Port out, const VcId& self) const {
+  std::uint32_t n = 0;
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    for (std::uint32_t v = 0; v < input_[p].size(); ++v) {
+      const VirtualChannel& ch = input_[p][v];
+      if (ch.stage == VcStage::Idle || ch.buffer.empty()) continue;
+      if (ch.out_port != out) continue;
+      if (static_cast<Port>(p) == self.port && v == self.vc) continue;
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool Router::rebuild_head_packet(const VcId& v, std::uint32_t old_flit_count, Cycle now) {
+  VirtualChannel& ch = vc(v);
+  const PacketPtr pkt = ch.head_packet();
+  if (!pkt || ch.sent_flits != 0) return false;
+  if (ch.buffered_flits_of_head() != old_flit_count) return false;
+
+  ch.buffer.erase(ch.buffer.begin(), ch.buffer.begin() + old_flit_count);
+  const std::uint32_t new_count = pkt->flit_count();
+  for (std::uint32_t i = new_count; i-- > 0;) {
+    Flit f;
+    f.pkt = pkt;
+    f.seq = i;
+    f.vc_tag = v.vc;
+    f.arrival = now;
+    ch.buffer.push_front(std::move(f));
+  }
+
+  if (new_count < old_flit_count) {
+    // Compression shrank the packet: retrieve the saved buffer space by
+    // sending bonus credits upstream (paper section 3.2 step 3).
+    for (std::uint32_t i = 0; i < old_flit_count - new_count; ++i)
+      send_credit_for_pop(v, now);
+  } else {
+    // Decompression grew the packet: swallow future credits until the
+    // engine-staging overflow is paid back.
+    ch.credit_debt += new_count - old_flit_count;
+  }
+  return true;
+}
+
+std::uint64_t Router::total_buffered_flits() const {
+  std::uint64_t n = 0;
+  for (const auto& port : input_)
+    for (const auto& ch : port) n += ch.buffer.size();
+  return n;
+}
+
+bool Router::quiescent() const { return total_buffered_flits() == 0; }
+
+bool Router::credits_quiescent() const {
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    if (static_cast<Port>(p) == Port::Local) continue;
+    if (out_flit_[p] == nullptr) continue;  // mesh edge
+    for (const std::uint32_t c : credits_[p]) {
+      if (c != cfg_.vc_depth_flits) return false;
+    }
+  }
+  for (const auto& port : input_) {
+    for (const VirtualChannel& ch : port) {
+      if (ch.credit_debt != 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace disco::noc

@@ -1,0 +1,126 @@
+// Three-stage virtual-channel wormhole router (Table 2): stage 1 buffer
+// write + route computation, stage 2 VC allocation + switch allocation,
+// stage 3 switch/link traversal. Credit-based flow control per VC, three
+// virtual networks for protocol deadlock freedom, separable round-robin
+// allocators with the paper's priority classes.
+//
+// The router exposes an introspection/extension interface (RouterExtension)
+// through which the DISCO unit observes allocation losers, reads the
+// credit/occupancy signals of Fig. 3, and swaps a packet's flits in place
+// when a de/compression completes.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "noc/link.h"
+#include "noc/noc_stats.h"
+#include "noc/routing.h"
+#include "noc/vc.h"
+
+namespace disco::noc {
+
+class Router;
+
+/// Hook interface for in-router machinery (the DISCO arbitrator + engines).
+/// Called by the router at fixed points of its pipeline each cycle.
+class RouterExtension {
+ public:
+  virtual ~RouterExtension() = default;
+  /// After VA/SA: `losers` are VCs that requested allocation and lost.
+  virtual void after_allocation(Cycle now, const std::vector<VcId>& losers) = 0;
+  /// A shadow packet's first flit departed while an engine held its copy.
+  virtual void on_shadow_departed(const VcId& vc) = 0;
+  /// Advance engines (completions applied here).
+  virtual void tick(Cycle now) = 0;
+};
+
+class Router {
+ public:
+  Router(NodeId id, const MeshShape& mesh, const NocConfig& cfg, NocStats& stats);
+
+  NodeId id() const { return id_; }
+  const NocConfig& config() const { return cfg_; }
+  const MeshShape& mesh() const { return mesh_; }
+
+  /// Wiring (done by Network). Null links mean no neighbour (mesh edge).
+  void connect_in_flit(Port p, FlitLink* link) { in_flit_[idx(p)] = link; }
+  void connect_out_flit(Port p, FlitLink* link) { out_flit_[idx(p)] = link; }
+  void connect_in_credit(Port p, CreditLink* link) { in_credit_[idx(p)] = link; }
+  void connect_out_credit(Port p, CreditLink* link) { out_credit_[idx(p)] = link; }
+
+  void set_extension(RouterExtension* ext) { ext_ = ext; }
+
+  void tick(Cycle now);
+
+  // --- introspection API used by the DISCO unit (Fig. 3 signals) ---
+  VirtualChannel& vc(const VcId& v) { return input_[idx(v.port)][v.vc]; }
+  const VirtualChannel& vc(const VcId& v) const { return input_[idx(v.port)][v.vc]; }
+
+  /// Remote pressure: occupied flit slots in the downstream router's input
+  /// buffers for `out`, estimated from outstanding credits (credit_in).
+  std::uint32_t downstream_occupancy(Port out) const;
+
+  /// Local pressure: other input VCs currently routed to the same output
+  /// (credit_out / VA state in the paper's confidence counter).
+  std::uint32_t competing_vcs(Port out, const VcId& self) const;
+
+  /// Remaining XY hops from this router to `dst` (RC_Hop in Eq. 2).
+  std::uint32_t hops_to(NodeId dst) const { return mesh_.hops(id_, dst); }
+
+  /// Rebuild the head packet's flits after its encoding changed (in-place
+  /// de/compression). `old_flit_count` is the flit count before the change.
+  /// Returns false if the packet is no longer eligible (departed/evicted).
+  bool rebuild_head_packet(const VcId& v, std::uint32_t old_flit_count, Cycle now);
+
+  /// Total buffered flits across all input VCs (diagnostics/energy leakage).
+  std::uint64_t total_buffered_flits() const;
+
+  bool quiescent() const;
+
+  /// Invariant check for drained networks: every non-ejection credit
+  /// counter must be back at full buffer depth (no credit was leaked or
+  /// double-returned by compression rebuilds), and no VC may still carry
+  /// expansion debt.
+  bool credits_quiescent() const;
+
+ private:
+  static constexpr std::size_t idx(Port p) { return static_cast<std::size_t>(p); }
+
+  void receive_credits(Cycle now);
+  void receive_flits(Cycle now);
+  void route_compute();
+  void vc_allocate(Cycle now);
+  void switch_allocate_and_traverse(Cycle now, std::vector<VcId>& losers);
+  void send_credit_for_pop(const VcId& v, Cycle now);
+
+  bool sa_eligible(const VirtualChannel& ch, Cycle now) const;
+
+  NodeId id_;
+  MeshShape mesh_;
+  NocConfig cfg_;
+  NocStats& stats_;
+
+  std::array<std::vector<VirtualChannel>, kNumPorts> input_;
+  /// Credits available for each downstream (out port, vc).
+  std::array<std::vector<std::uint32_t>, kNumPorts> credits_;
+  /// Downstream VC ownership (held between VA grant and tail departure).
+  std::array<std::vector<bool>, kNumPorts> out_vc_taken_;
+
+  std::array<FlitLink*, kNumPorts> in_flit_{};
+  std::array<FlitLink*, kNumPorts> out_flit_{};
+  std::array<CreditLink*, kNumPorts> in_credit_{};
+  std::array<CreditLink*, kNumPorts> out_credit_{};
+
+  // Round-robin pointers for fairness.
+  std::array<std::uint32_t, kNumPorts> va_rr_{};
+  std::array<std::uint32_t, kNumPorts> sa_in_rr_{};
+  std::array<std::uint32_t, kNumPorts> sa_out_rr_{};
+
+  RouterExtension* ext_ = nullptr;
+  std::vector<VcId> losers_scratch_;
+};
+
+}  // namespace disco::noc

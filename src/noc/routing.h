@@ -1,0 +1,71 @@
+// Mesh geometry and dimension-ordered (XY) routing.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "common/types.h"
+
+namespace disco::noc {
+
+/// Router port directions. Local is the NI-facing port.
+enum class Port : std::uint8_t { North = 0, South = 1, East = 2, West = 3, Local = 4 };
+inline constexpr std::size_t kNumPorts = 5;
+
+inline const char* to_string(Port p) {
+  switch (p) {
+    case Port::North: return "N";
+    case Port::South: return "S";
+    case Port::East: return "E";
+    case Port::West: return "W";
+    case Port::Local: return "L";
+  }
+  return "?";
+}
+
+struct MeshShape {
+  std::uint32_t cols = 4;
+  std::uint32_t rows = 4;
+
+  std::uint32_t num_nodes() const { return cols * rows; }
+  std::uint32_t x_of(NodeId n) const { return n % cols; }
+  std::uint32_t y_of(NodeId n) const { return n / cols; }
+  NodeId node_at(std::uint32_t x, std::uint32_t y) const {
+    return static_cast<NodeId>(y * cols + x);
+  }
+  bool valid(NodeId n) const { return n < num_nodes(); }
+
+  /// Manhattan hop distance.
+  std::uint32_t hops(NodeId a, NodeId b) const {
+    const int dx = static_cast<int>(x_of(a)) - static_cast<int>(x_of(b));
+    const int dy = static_cast<int>(y_of(a)) - static_cast<int>(y_of(b));
+    return static_cast<std::uint32_t>(std::abs(dx) + std::abs(dy));
+  }
+
+  /// Neighbour in a direction, or kInvalidNode at the mesh edge.
+  NodeId neighbor(NodeId n, Port dir) const {
+    const std::uint32_t x = x_of(n), y = y_of(n);
+    switch (dir) {
+      case Port::North: return y > 0 ? node_at(x, y - 1) : kInvalidNode;
+      case Port::South: return y + 1 < rows ? node_at(x, y + 1) : kInvalidNode;
+      case Port::East: return x + 1 < cols ? node_at(x + 1, y) : kInvalidNode;
+      case Port::West: return x > 0 ? node_at(x - 1, y) : kInvalidNode;
+      case Port::Local: return n;
+    }
+    return kInvalidNode;
+  }
+};
+
+/// Deterministic XY routing: traverse X fully, then Y (deadlock-free on a
+/// mesh with this turn restriction).
+inline Port xy_route(const MeshShape& mesh, NodeId here, NodeId dst) {
+  const std::uint32_t hx = mesh.x_of(here), hy = mesh.y_of(here);
+  const std::uint32_t dx = mesh.x_of(dst), dy = mesh.y_of(dst);
+  if (dx > hx) return Port::East;
+  if (dx < hx) return Port::West;
+  if (dy > hy) return Port::South;
+  if (dy < hy) return Port::North;
+  return Port::Local;
+}
+
+}  // namespace disco::noc

@@ -1,0 +1,67 @@
+#include "sim/experiment.h"
+
+#include <cmath>
+
+namespace disco::sim {
+
+CellResult run_cell(const SystemConfig& cfg,
+                    const workload::BenchmarkProfile& profile,
+                    const RunOptions& opt) {
+  cmp::CmpSystem sys(cfg, profile);
+  sys.functional_warmup(opt.warmup_ops_per_core);
+  sys.run(opt.warmup_cycles);
+  sys.reset_stats();
+  sys.run(opt.measure_cycles);
+
+  const auto& cs = sys.cache_stats();
+  const auto& ns = sys.noc_stats();
+
+  CellResult r;
+  r.workload = profile.name;
+  r.algorithm = cfg.algorithm;
+  r.scheme = cfg.scheme;
+  r.measured_cycles = opt.measure_cycles;
+  r.core_ops = sys.total_core_ops();
+  r.l1_misses = cs.l1_misses;
+  r.avg_nuca_latency = cs.nuca_latency.mean();
+  r.avg_miss_latency = cs.miss_latency.mean();
+  r.avg_dram_latency = cs.dram_latency.mean();
+  r.l2_miss_rate = cs.l2_miss_rate();
+  r.avg_packet_latency = ns.avg_packet_latency();
+  r.avg_stored_ratio = cs.stored_line_bytes.count() > 0
+                           ? static_cast<double>(kBlockBytes) /
+                                 cs.stored_line_bytes.mean()
+                           : 1.0;
+  r.link_flits = ns.link_flits;
+  r.inflight_compressions = ns.inflight_compressions;
+  r.inflight_decompressions = ns.inflight_decompressions;
+  r.source_compressions = ns.source_compressions;
+  r.compression_aborts = ns.compression_aborts;
+  r.hidden_decomp_ops = ns.hidden_decomp_ops;
+  r.exposed_decomp_cycles = ns.exposed_decomp_cycles;
+  r.energy = energy::compute_energy(ns, cs, cfg, opt.measure_cycles,
+                                    sys.algorithm().hardware_overhead() / 0.023);
+  return r;
+}
+
+std::vector<CellResult> run_schemes(SystemConfig cfg,
+                                    const workload::BenchmarkProfile& profile,
+                                    const std::vector<Scheme>& schemes,
+                                    const RunOptions& opt) {
+  std::vector<CellResult> out;
+  out.reserve(schemes.size());
+  for (const Scheme s : schemes) {
+    cfg.scheme = s;
+    out.push_back(run_cell(cfg, profile, opt));
+  }
+  return out;
+}
+
+double geomean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double x : v) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+}  // namespace disco::sim

@@ -1,0 +1,67 @@
+// Experiment harness: runs one (scheme x algorithm x workload x mesh) cell
+// with warmup + measurement phases and extracts the metrics the paper's
+// tables and figures report. Every bench binary is a thin driver over this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cmp/system.h"
+#include "energy/energy_model.h"
+
+namespace disco::sim {
+
+struct CellResult {
+  std::string workload;
+  std::string algorithm;
+  Scheme scheme = Scheme::Baseline;
+
+  Cycle measured_cycles = 0;
+  std::uint64_t core_ops = 0;
+  std::uint64_t l1_misses = 0;
+
+  /// The Fig. 5/6/8 metric (pre-normalization): average NUCA data access
+  /// latency of L1 misses served on chip (NoC + bank), in cycles.
+  double avg_nuca_latency = 0;
+  /// All L1 misses including DRAM-served ones.
+  double avg_miss_latency = 0;
+  double avg_dram_latency = 0;
+  double l2_miss_rate = 0;
+  double avg_packet_latency = 0;
+  double avg_stored_ratio = 0;  ///< compression ratio of resident L2 lines
+
+  std::uint64_t link_flits = 0;
+  std::uint64_t inflight_compressions = 0;
+  std::uint64_t inflight_decompressions = 0;
+  std::uint64_t source_compressions = 0;
+  std::uint64_t compression_aborts = 0;
+  std::uint64_t hidden_decomp_ops = 0;
+  std::uint64_t exposed_decomp_cycles = 0;
+
+  energy::EnergyBreakdown energy;
+};
+
+struct RunOptions {
+  /// Functional (untimed) warmup: references replayed per core to populate
+  /// caches, directory and backing store before the clock starts.
+  std::uint64_t warmup_ops_per_core = 24000;
+  /// Timed warmup after the functional phase (fills queues/MSHRs).
+  Cycle warmup_cycles = 20000;
+  Cycle measure_cycles = 100000;
+};
+
+CellResult run_cell(const SystemConfig& cfg,
+                    const workload::BenchmarkProfile& profile,
+                    const RunOptions& opt);
+
+/// Run the same workload under several schemes (identical everything else)
+/// and return results in scheme order.
+std::vector<CellResult> run_schemes(SystemConfig cfg,
+                                    const workload::BenchmarkProfile& profile,
+                                    const std::vector<Scheme>& schemes,
+                                    const RunOptions& opt);
+
+/// Geometric mean over positive values.
+double geomean(const std::vector<double>& v);
+
+}  // namespace disco::sim

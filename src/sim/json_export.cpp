@@ -1,0 +1,58 @@
+#include "sim/json_export.h"
+
+#include <ostream>
+
+namespace disco::sim {
+namespace {
+
+void write_fields(std::ostream& os, const CellResult& r) {
+  os << "{"
+     << "\"workload\":\"" << r.workload << "\","
+     << "\"algorithm\":\"" << r.algorithm << "\","
+     << "\"scheme\":\"" << to_string(r.scheme) << "\","
+     << "\"measured_cycles\":" << r.measured_cycles << ","
+     << "\"core_ops\":" << r.core_ops << ","
+     << "\"l1_misses\":" << r.l1_misses << ","
+     << "\"avg_nuca_latency\":" << r.avg_nuca_latency << ","
+     << "\"avg_miss_latency\":" << r.avg_miss_latency << ","
+     << "\"avg_dram_latency\":" << r.avg_dram_latency << ","
+     << "\"l2_miss_rate\":" << r.l2_miss_rate << ","
+     << "\"avg_packet_latency\":" << r.avg_packet_latency << ","
+     << "\"avg_stored_ratio\":" << r.avg_stored_ratio << ","
+     << "\"link_flits\":" << r.link_flits << ","
+     << "\"inflight_compressions\":" << r.inflight_compressions << ","
+     << "\"inflight_decompressions\":" << r.inflight_decompressions << ","
+     << "\"source_compressions\":" << r.source_compressions << ","
+     << "\"compression_aborts\":" << r.compression_aborts << ","
+     << "\"hidden_decomp_ops\":" << r.hidden_decomp_ops << ","
+     << "\"energy\":{"
+     << "\"noc_dynamic_nj\":" << r.energy.noc_dynamic_nj << ","
+     << "\"noc_leakage_nj\":" << r.energy.noc_leakage_nj << ","
+     << "\"l2_dynamic_nj\":" << r.energy.l2_dynamic_nj << ","
+     << "\"l2_leakage_nj\":" << r.energy.l2_leakage_nj << ","
+     << "\"compressor_dynamic_nj\":" << r.energy.compressor_dynamic_nj << ","
+     << "\"compressor_leakage_nj\":" << r.energy.compressor_leakage_nj << ","
+     << "\"dram_nj\":" << r.energy.dram_nj << ","
+     << "\"subsystem_nj\":" << r.energy.subsystem_nj() << "}"
+     << "}";
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const CellResult& result) {
+  write_fields(os, result);
+  os << "\n";
+}
+
+void write_json(std::ostream& os, const std::vector<CellResult>& results) {
+  os << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    os << "  ";
+    write_fields(os, results[i]);
+    if (i + 1 < results.size()) os << ",";
+    os << "\n";
+  }
+  os << "]\n";
+}
+
+}  // namespace disco::sim

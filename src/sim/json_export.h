@@ -1,0 +1,18 @@
+// Machine-readable export of experiment results (minimal JSON writer, no
+// external dependency) so plots/regressions can consume bench output.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace disco::sim {
+
+/// Serialize one result as a JSON object.
+void write_json(std::ostream& os, const CellResult& result);
+
+/// Serialize a list of results as a JSON array.
+void write_json(std::ostream& os, const std::vector<CellResult>& results);
+
+}  // namespace disco::sim

@@ -1,0 +1,117 @@
+#include "sim/report.h"
+
+#include <ostream>
+
+#include "common/table.h"
+#include "energy/energy_model.h"
+
+namespace disco::sim {
+namespace {
+
+void latency_section(std::ostream& os, const cache::CacheStats& cs) {
+  os << "-- L1-miss latency --\n";
+  TablePrinter t({"population", "count", "mean", "p50", "p95", "p99", "max"});
+  const auto row = [&](const char* name, const Accumulator& acc,
+                       const Histogram* hist) {
+    t.add_row({name, std::to_string(acc.count()), TablePrinter::fmt(acc.mean(), 1),
+               hist ? std::to_string(hist->approx_quantile(0.5)) : "-",
+               hist ? std::to_string(hist->approx_quantile(0.95)) : "-",
+               hist ? std::to_string(hist->approx_quantile(0.99)) : "-",
+               TablePrinter::fmt(acc.max(), 0)});
+  };
+  row("NUCA-served (Fig.5 metric)", cs.nuca_latency, &cs.nuca_latency_hist);
+  row("DRAM-served", cs.dram_latency, nullptr);
+  row("all misses", cs.miss_latency, &cs.miss_latency_hist);
+  t.print(os);
+}
+
+void cache_section(std::ostream& os, const cache::CacheStats& cs) {
+  os << "-- cache hierarchy --\n";
+  TablePrinter t({"counter", "value"});
+  t.add_row({"L1 hit rate", TablePrinter::pct(1.0 - cs.l1_miss_rate())});
+  t.add_row({"L2 hit rate", TablePrinter::pct(1.0 - cs.l2_miss_rate())});
+  t.add_row({"L2 fills / evictions", std::to_string(cs.l2_fills) + " / " +
+                                         std::to_string(cs.l2_evictions)});
+  t.add_row({"invalidations / recalls", std::to_string(cs.invalidations_sent) +
+                                            " / " + std::to_string(cs.recalls_sent)});
+  t.add_row({"DRAM reads / writes", std::to_string(cs.dram_reads) + " / " +
+                                        std::to_string(cs.dram_writes)});
+  t.add_row({"bank comp / decomp ops", std::to_string(cs.bank_compressions) +
+                                           " / " +
+                                           std::to_string(cs.bank_decompressions)});
+  if (cs.stored_line_bytes.count() > 0) {
+    t.add_row({"effective stored ratio",
+               TablePrinter::fmt(static_cast<double>(kBlockBytes) /
+                                     cs.stored_line_bytes.mean(), 2)});
+  }
+  t.print(os);
+}
+
+void noc_section(std::ostream& os, const noc::NocStats& ns) {
+  os << "-- network --\n";
+  TablePrinter t({"counter", "value"});
+  t.add_row({"packets (in/out)", std::to_string(ns.packets_injected) + " / " +
+                                     std::to_string(ns.packets_ejected)});
+  t.add_row({"link flits", std::to_string(ns.link_flits)});
+  static const char* vnet_names[] = {"request", "response", "coherence"};
+  for (std::size_t v = 0; v < kNumVNets; ++v) {
+    t.add_row({std::string("avg latency (") + vnet_names[v] + ")",
+               TablePrinter::fmt(ns.packet_latency[v].mean(), 1)});
+  }
+  t.add_row({"packet idle cycles p95",
+             std::to_string(ns.queueing_cycles.approx_quantile(0.95))});
+  t.print(os);
+
+  os << "-- DISCO machinery --\n";
+  TablePrinter d({"event", "count"});
+  d.add_row({"engine starts", std::to_string(ns.engine_starts)});
+  d.add_row({"in-router compressions", std::to_string(ns.inflight_compressions)});
+  d.add_row({"in-router decompressions", std::to_string(ns.inflight_decompressions)});
+  d.add_row({"source-queue compressions", std::to_string(ns.source_compressions)});
+  d.add_row({"aborted (non-blocking)", std::to_string(ns.compression_aborts)});
+  d.add_row({"decompressions hidden at eject", std::to_string(ns.hidden_decomp_ops)});
+  d.add_row({"NI compressions / decompressions",
+             std::to_string(ns.ni_compressions) + " / " +
+                 std::to_string(ns.ni_decompressions)});
+  d.add_row({"exposed comp/decomp cycles",
+             std::to_string(ns.exposed_comp_cycles) + " / " +
+                 std::to_string(ns.exposed_decomp_cycles)});
+  d.print(os);
+}
+
+void energy_section(std::ostream& os, cmp::CmpSystem& sys, Cycle cycles) {
+  const auto e = energy::compute_energy(
+      sys.noc_stats(), sys.cache_stats(), sys.config(), cycles,
+      sys.algorithm().hardware_overhead() / 0.023);
+  os << "-- energy (on-chip memory subsystem) --\n";
+  TablePrinter t({"component", "uJ", "share"});
+  const double total = e.subsystem_nj();
+  const auto row = [&](const char* name, double nj) {
+    t.add_row({name, TablePrinter::fmt(nj / 1000.0, 2),
+               total > 0 ? TablePrinter::pct(nj / total) : "-"});
+  };
+  row("NoC dynamic", e.noc_dynamic_nj);
+  row("NoC leakage", e.noc_leakage_nj);
+  row("L2 dynamic", e.l2_dynamic_nj);
+  row("L2 leakage", e.l2_leakage_nj);
+  row("compressor dynamic", e.compressor_dynamic_nj);
+  row("compressor leakage", e.compressor_leakage_nj);
+  t.add_row({"subsystem total", TablePrinter::fmt(total / 1000.0, 2), "100%"});
+  t.add_row({"DRAM (off-chip, informational)",
+             TablePrinter::fmt(e.dram_nj / 1000.0, 2), "-"});
+  t.print(os);
+}
+
+}  // namespace
+
+void print_system_report(std::ostream& os, cmp::CmpSystem& sys, Cycle cycles) {
+  os << "system: " << sys.config().summary() << "\n";
+  os << "measured cycles: " << cycles
+     << ", core memory ops: " << sys.total_core_ops() << "\n\n";
+  latency_section(os, sys.cache_stats());
+  cache_section(os, sys.cache_stats());
+  noc_section(os, sys.noc_stats());
+  energy_section(os, sys, cycles);
+}
+
+}  // namespace disco::sim

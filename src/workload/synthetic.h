@@ -1,0 +1,49 @@
+// Synthetic NoC traffic patterns for network-only studies (the classic
+// kit: uniform random, transpose, bit-complement, hotspot, neighbour).
+// Used by the traffic-explorer example and the NoC stress tests; the full
+// CMP experiments use the PARSEC-like trace generators instead.
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "noc/packet.h"
+
+namespace disco::workload {
+
+enum class TrafficPattern : std::uint8_t {
+  UniformRandom,
+  Transpose,
+  BitComplement,
+  Hotspot,
+  Neighbor,
+};
+
+TrafficPattern traffic_pattern_from_name(const std::string& name);
+const char* to_string(TrafficPattern p);
+
+/// Destination chooser for a square mesh of `side x side` nodes.
+class TrafficChooser {
+ public:
+  TrafficChooser(TrafficPattern pattern, std::uint32_t side,
+                 std::uint64_t seed, NodeId hotspot = 5,
+                 double hotspot_fraction = 0.4);
+
+  NodeId pick(NodeId src);
+
+ private:
+  TrafficPattern pattern_;
+  std::uint32_t side_;
+  Rng rng_;
+  NodeId hotspot_;
+  double hotspot_fraction_;
+};
+
+/// Build a compressible data packet for synthetic traffic (base + small
+/// deltas, so the delta family compresses it well).
+noc::PacketPtr make_synthetic_packet(NodeId src, NodeId dst, std::uint64_t id,
+                                     Cycle now, double compressible_fraction,
+                                     Rng& rng);
+
+}  // namespace disco::workload

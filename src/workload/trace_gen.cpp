@@ -1,0 +1,60 @@
+#include "workload/trace_gen.h"
+
+#include <algorithm>
+
+namespace disco::workload {
+
+TraceGenerator::TraceGenerator(const BenchmarkProfile& profile, NodeId core,
+                               std::uint64_t seed)
+    : profile_(profile),
+      rng_(splitmix64(seed) ^ splitmix64(core + 1)),
+      private_base_(static_cast<Addr>(core + 1) << 30) {}
+
+Addr TraceGenerator::pick_block() {
+  const bool shared = rng_.chance(profile_.shared_fraction);
+  const Addr base = shared ? shared_base() : private_base_;
+  const std::uint64_t span =
+      shared ? profile_.shared_blocks : profile_.footprint_blocks;
+
+  // The hot subset is the contiguous head of the region: contiguity keeps
+  // sequential runs inside the hot set (like real array/stack reuse) and a
+  // contiguous index range already maps uniformly across cache sets.
+  std::uint64_t idx;
+  if (rng_.chance(profile_.hot_fraction)) {
+    const auto hot = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(profile_.hot_set_fraction *
+                                      static_cast<double>(span)));
+    idx = rng_.next_below(hot);
+  } else {
+    idx = rng_.next_below(span);
+  }
+  // Remember the region so sequential continuations wrap inside it.
+  seq_region_base_ = base;
+  seq_region_span_ = span;
+  return base + idx * kBlockBytes;
+}
+
+TraceOp TraceGenerator::next() {
+  TraceOp op;
+
+  // Geometric compute gap with mean ~ (1 - rate) / rate.
+  while (op.gap < 64 && !rng_.chance(profile_.mem_op_rate)) ++op.gap;
+
+  if (seq_left_ > 0) {
+    --seq_left_;
+    const std::uint64_t idx = (seq_addr_ - seq_region_base_) / kBlockBytes;
+    seq_addr_ = seq_region_base_ + ((idx + 1) % seq_region_span_) * kBlockBytes;
+    op.addr = seq_addr_;
+  } else {
+    op.addr = pick_block();
+    if (rng_.chance(profile_.sequential_prob)) {
+      seq_left_ = 1 + static_cast<std::uint32_t>(rng_.next_below(7));
+      seq_addr_ = op.addr;
+    }
+  }
+  op.is_store = rng_.chance(profile_.write_ratio);
+  op.addr = virtual_to_physical(op.addr);
+  return op;
+}
+
+}  // namespace disco::workload

@@ -1,0 +1,72 @@
+#include "workload/trace_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace disco::workload {
+
+std::vector<RecordedOp> record_trace(const BenchmarkProfile& profile,
+                                     std::uint32_t cores,
+                                     std::uint64_t ops_per_core,
+                                     std::uint64_t seed) {
+  std::vector<TraceGenerator> gens;
+  gens.reserve(cores);
+  for (NodeId c = 0; c < cores; ++c) gens.emplace_back(profile, c, seed);
+
+  std::vector<RecordedOp> out;
+  out.reserve(static_cast<std::size_t>(cores) * ops_per_core);
+  for (std::uint64_t i = 0; i < ops_per_core; ++i) {
+    for (NodeId c = 0; c < cores; ++c) {
+      out.push_back({c, gens[c].next()});
+    }
+  }
+  return out;
+}
+
+void write_trace(std::ostream& os, const std::vector<RecordedOp>& trace) {
+  os << "# disco trace v1: <core> <L|S> <hex addr> <gap>\n";
+  for (const RecordedOp& r : trace) {
+    os << r.core << ' ' << (r.op.is_store ? 'S' : 'L') << ' ' << std::hex
+       << r.op.addr << std::dec << ' ' << r.op.gap << '\n';
+  }
+}
+
+std::vector<RecordedOp> read_trace(std::istream& is) {
+  std::vector<RecordedOp> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    RecordedOp r;
+    unsigned core;
+    char kind;
+    if (!(ls >> core >> kind >> std::hex >> r.op.addr >> std::dec >> r.op.gap) ||
+        (kind != 'L' && kind != 'S')) {
+      throw std::runtime_error("malformed trace line " + std::to_string(lineno) +
+                               ": " + line);
+    }
+    r.core = static_cast<NodeId>(core);
+    r.op.is_store = kind == 'S';
+    out.push_back(r);
+  }
+  return out;
+}
+
+TraceReplayer::TraceReplayer(std::vector<RecordedOp> trace, NodeId core) {
+  for (const RecordedOp& r : trace) {
+    if (r.core == core) ops_.push_back(r.op);
+  }
+}
+
+TraceOp TraceReplayer::next() {
+  if (ops_.empty()) return TraceOp{};
+  const TraceOp op = ops_[cursor_];
+  cursor_ = (cursor_ + 1) % ops_.size();
+  return op;
+}
+
+}  // namespace disco::workload

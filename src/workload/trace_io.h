@@ -1,0 +1,53 @@
+// Trace recording and replay. The built-in generators are synthetic; a
+// downstream user with real traces (e.g. PIN/gem5-derived) can drive the
+// same system by writing them in this format. Text format, one op per
+// line:
+//
+//   # comment
+//   <core> <L|S> <hex addr> <gap>
+//
+// Replay preserves per-core ordering and gaps. The recorder wraps any
+// generator so synthetic traces can be captured, inspected, and replayed
+// bit-identically.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/trace_gen.h"
+
+namespace disco::workload {
+
+struct RecordedOp {
+  NodeId core = 0;
+  TraceOp op;
+};
+
+/// Capture `ops_per_core` references per core from generators built for
+/// `profile` (round-robin across cores, the order functional warmup uses).
+std::vector<RecordedOp> record_trace(const BenchmarkProfile& profile,
+                                     std::uint32_t cores,
+                                     std::uint64_t ops_per_core,
+                                     std::uint64_t seed);
+
+void write_trace(std::ostream& os, const std::vector<RecordedOp>& trace);
+std::vector<RecordedOp> read_trace(std::istream& is);
+
+/// Per-core replay cursor with the TraceGenerator interface shape.
+class TraceReplayer {
+ public:
+  TraceReplayer(std::vector<RecordedOp> trace, NodeId core);
+
+  /// Next op for this core; loops when the recording is exhausted so
+  /// replayed runs can outlast the capture.
+  TraceOp next();
+
+  std::size_t ops_for_core() const { return ops_.size(); }
+
+ private:
+  std::vector<TraceOp> ops_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace disco::workload

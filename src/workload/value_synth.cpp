@@ -1,0 +1,104 @@
+#include "workload/value_synth.h"
+
+#include <cstring>
+
+namespace disco::workload {
+namespace {
+
+/// Stateless per-address hash stream.
+std::uint64_t h(std::uint64_t seed, Addr addr, std::uint64_t salt) {
+  return splitmix64(seed ^ splitmix64(addr) ^ (salt * 0x9E3779B97F4A7C15ULL));
+}
+
+void put_u64(BlockBytes& b, std::size_t flit, std::uint64_t v) {
+  std::memcpy(b.data() + flit * 8, &v, 8);
+}
+
+}  // namespace
+
+ValueSynthesizer::ValueSynthesizer(const ValueMix& mix, std::uint64_t seed)
+    : mix_(mix), seed_(seed) {}
+
+PatternKind ValueSynthesizer::kind_of(Addr addr) const {
+  const Addr blk = addr / kBlockBytes;
+  const double u =
+      static_cast<double>(h(seed_, blk, 0) >> 11) * (1.0 / 9007199254740992.0);
+  const double total = mix_.sum();
+  double acc = mix_.zero / total;
+  if (u < acc) return PatternKind::Zero;
+  acc += mix_.narrow / total;
+  if (u < acc) return PatternKind::Narrow;
+  acc += mix_.low_delta / total;
+  if (u < acc) return PatternKind::LowDelta;
+  acc += mix_.pointer / total;
+  if (u < acc) return PatternKind::Pointer;
+  acc += mix_.fp / total;
+  if (u < acc) return PatternKind::Fp;
+  return PatternKind::Random;
+}
+
+BlockBytes ValueSynthesizer::block_for(Addr addr) const {
+  const Addr blk = addr / kBlockBytes;
+  BlockBytes b{};
+  switch (kind_of(addr)) {
+    case PatternKind::Zero:
+      break;
+    case PatternKind::Narrow:
+      // Small integers stored in 64-bit words (counters, sizes, indices):
+      // the dominant pattern in integer-heavy heaps, compressible by every
+      // scheme (zero-base deltas, FPC zero runs, frequent values).
+      for (std::size_t f = 0; f < 8; ++f)
+        put_u64(b, f, h(seed_, blk, f + 1) % 256);
+      break;
+    case PatternKind::LowDelta: {
+      // 64-bit values clustered near a per-block base (array of offsets).
+      const std::uint64_t base = h(seed_, blk, 100);
+      for (std::size_t f = 0; f < 8; ++f)
+        put_u64(b, f, base + h(seed_, blk, f + 101) % 120);
+      break;
+    }
+    case PatternKind::Pointer: {
+      // Heap pointers: shared high bits, spread over a 1MB region.
+      const std::uint64_t region =
+          0x00007F0000000000ULL + (h(seed_, blk, 200) % 64) * (1ULL << 20);
+      for (std::size_t f = 0; f < 8; ++f)
+        put_u64(b, f, region + (h(seed_, blk, f + 201) % (1ULL << 20)) * 8);
+      break;
+    }
+    case PatternKind::Fp: {
+      // Doubles in [1, 2): shared sign/exponent, random mantissae — poorly
+      // compressible except via value-frequency schemes.
+      for (std::size_t f = 0; f < 8; ++f) {
+        const std::uint64_t mantissa = h(seed_, blk, f + 301) & ((1ULL << 52) - 1);
+        put_u64(b, f, 0x3FF0000000000000ULL | mantissa);
+      }
+      break;
+    }
+    case PatternKind::Random:
+      for (std::size_t f = 0; f < 8; ++f) put_u64(b, f, h(seed_, blk, f + 401));
+      break;
+  }
+  return b;
+}
+
+std::uint64_t ValueSynthesizer::store_value(Addr addr, std::uint64_t salt) const {
+  const Addr blk = addr / kBlockBytes;
+  const std::uint64_t r = h(seed_, blk, 500 + salt);
+  switch (kind_of(addr)) {
+    case PatternKind::Zero:
+      return r % 4 == 0 ? r % 16 : 0;  // zero pages gain a few small values
+    case PatternKind::Narrow:
+      return r % 256;  // stays a small 64-bit value
+    case PatternKind::LowDelta:
+      return h(seed_, blk, 100) + r % 120;  // stays near the block base
+    case PatternKind::Pointer:
+      return 0x00007F0000000000ULL + (r % (1ULL << 26));
+    case PatternKind::Fp:
+      return 0x3FF0000000000000ULL | (r & ((1ULL << 52) - 1));
+    case PatternKind::Random:
+      return r;
+  }
+  return r;
+}
+
+}  // namespace disco::workload

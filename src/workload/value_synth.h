@@ -1,0 +1,34 @@
+// Deterministic block-content synthesizer. Every block address maps to a
+// pattern class (weighted by the benchmark's ValueMix) and its bytes are a
+// pure function of (address, seed) — so the same experiment always sees the
+// same data, and the compressibility of traffic is a stable per-benchmark
+// property, as it is for real applications.
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "workload/profile.h"
+
+namespace disco::workload {
+
+enum class PatternKind : std::uint8_t { Zero, Narrow, LowDelta, Pointer, Fp, Random };
+
+class ValueSynthesizer {
+ public:
+  ValueSynthesizer(const ValueMix& mix, std::uint64_t seed);
+
+  /// Initial content of a block (used by the DRAM backing store).
+  BlockBytes block_for(Addr addr) const;
+
+  /// An 8-byte store value consistent with the block's pattern class, so
+  /// writes do not destroy a workload's compressibility profile.
+  std::uint64_t store_value(Addr addr, std::uint64_t salt) const;
+
+  PatternKind kind_of(Addr addr) const;
+
+ private:
+  ValueMix mix_;
+  std::uint64_t seed_;
+};
+
+}  // namespace disco::workload

@@ -1,0 +1,151 @@
+// Storage-structure unit tests: L1 set-associative LRU and the segmented
+// compressed L2 array (decoupled tags, segment accounting, victim policy).
+#include <gtest/gtest.h>
+
+#include "cache/arrays.h"
+
+namespace disco::cache {
+namespace {
+
+TEST(L1Array, GeometryFromConfig) {
+  L1Array a(32 * 1024, 4);
+  EXPECT_EQ(a.sets(), 128u);
+  EXPECT_EQ(a.ways(), 4u);
+}
+
+TEST(L1Array, InstallLookupAndLru) {
+  L1Array a(32 * 1024, 4);
+  const Addr base = 0x10000;
+  // Fill one set: addresses that differ by sets*64.
+  const Addr stride = 128 * 64;
+  for (int i = 0; i < 4; ++i) {
+    a.install(base + i * stride, BlockBytes{}, L1State::S,
+              static_cast<Cycle>(i + 1));
+  }
+  EXPECT_NE(a.lookup(base), nullptr);
+  EXPECT_EQ(a.victim_for(base + 4 * stride)->addr, base)
+      << "LRU victim must be the oldest line";
+  // Touch the oldest; victim changes.
+  a.lookup(base)->lru = 99;
+  EXPECT_EQ(a.victim_for(base + 4 * stride)->addr, base + stride);
+}
+
+TEST(L1Array, VictimNullWhenFreeWayExists) {
+  L1Array a(32 * 1024, 4);
+  a.install(0, BlockBytes{}, L1State::E, 1);
+  EXPECT_EQ(a.victim_for(0), nullptr);
+}
+
+TEST(SegmentedArray, UncompressedGeometryMatchesBaseline) {
+  SegmentedArray a(256 * 1024, 8, /*tag_factor=*/1);
+  EXPECT_EQ(a.sets(), 512u);
+  EXPECT_EQ(a.segment_capacity(), 64u);
+}
+
+TEST(SegmentedArray, SegmentAccounting) {
+  SegmentedArray a(256 * 1024, 8, 4);
+  const Addr addr = 0x4000;
+  EXPECT_EQ(a.free_segments(addr), 64u);
+  L2Line& line = a.install(addr, 3, 1);
+  EXPECT_EQ(line.segments, 3u);
+  EXPECT_EQ(a.free_segments(addr), 61u);
+  a.resize(line, 8);
+  EXPECT_EQ(a.free_segments(addr), 56u);
+  a.resize(line, 1);
+  EXPECT_EQ(a.free_segments(addr), 63u);
+  a.erase(addr);
+  EXPECT_EQ(a.free_segments(addr), 64u);
+  EXPECT_EQ(a.lookup(addr), nullptr);
+}
+
+TEST(SegmentedArray, CompressionExpandsEffectiveCapacity) {
+  SegmentedArray a(256 * 1024, 8, 4);
+  // 2-segment lines: a set should hold up to 32 (tag-limited), not 8.
+  const std::size_t set0 = a.set_of(0);
+  std::uint32_t installed = 0;
+  for (Addr idx = 0; installed < 32; ++idx) {
+    const Addr addr = idx * kBlockBytes;
+    if (a.set_of(addr) != set0) continue;
+    if (!a.fits(addr, 2)) break;
+    a.install(addr, 2, 1);
+    ++installed;
+  }
+  EXPECT_EQ(installed, 32u) << "tag_factor x ways compressed lines per set";
+}
+
+TEST(SegmentedArray, FitsRespectsBothTagsAndSegments) {
+  SegmentedArray a(64 * 1024, 8, 2);
+  const std::size_t set0 = a.set_of(0);
+  // Fill with 8-segment (raw) lines until segments run out.
+  std::uint32_t installed = 0;
+  for (Addr idx = 0;; ++idx) {
+    const Addr addr = idx * kBlockBytes;
+    if (a.set_of(addr) != set0) continue;
+    if (!a.fits(addr, 8)) break;
+    a.install(addr, 8, 1);
+    ++installed;
+  }
+  EXPECT_EQ(installed, 8u) << "raw lines are segment-limited to `ways`";
+}
+
+TEST(SegmentedArray, VictimPrefersLinesWithoutL1Copies) {
+  SegmentedArray a(256 * 1024, 8, 4);
+  const std::size_t set0 = a.set_of(0);
+  Addr first = 0, second = 0;
+  int found = 0;
+  for (Addr idx = 0; found < 2; ++idx) {
+    const Addr addr = idx * kBlockBytes;
+    if (a.set_of(addr) != set0) continue;
+    (found == 0 ? first : second) = addr;
+    ++found;
+  }
+  L2Line& older = a.install(first, 4, /*lru=*/1);
+  a.install(second, 4, /*lru=*/5);
+  older.dir.kind = DirInfo::Kind::Shared;
+  older.dir.add_sharer(3);
+  // Older line has an L1 copy: the younger uncached one is preferred.
+  EXPECT_EQ(a.lru_victim(first, ~Addr{0})->addr, second);
+  older.dir = DirInfo{};
+  EXPECT_EQ(a.lru_victim(first, ~Addr{0})->addr, first);
+}
+
+TEST(SegmentedArray, BusyLinesAreNotVictims) {
+  SegmentedArray a(256 * 1024, 8, 4);
+  L2Line& line = a.install(0, 4, 1);
+  line.busy = true;
+  EXPECT_EQ(a.lru_victim(0, ~Addr{0}), nullptr);
+}
+
+TEST(SegmentedArray, HashedIndexSpreadsAlignedStrides) {
+  SegmentedArray a(256 * 1024, 8, 4, /*index_shift=*/4);
+  // 1GB-aligned bases (per-core heaps) must not collapse onto one set.
+  std::set<std::size_t> sets;
+  for (int core = 0; core < 16; ++core)
+    sets.insert(a.set_of((static_cast<Addr>(core + 1) << 30)));
+  EXPECT_GT(sets.size(), 8u);
+}
+
+TEST(SegmentedArray, SegmentsForRounding) {
+  EXPECT_EQ(SegmentedArray::segments_for(1), 1u);
+  EXPECT_EQ(SegmentedArray::segments_for(8), 1u);
+  EXPECT_EQ(SegmentedArray::segments_for(9), 2u);
+  EXPECT_EQ(SegmentedArray::segments_for(17), 3u);
+  EXPECT_EQ(SegmentedArray::segments_for(64), 8u);
+  EXPECT_EQ(SegmentedArray::segments_for(65), 9u);
+}
+
+TEST(DirInfo, SharerBitmask) {
+  DirInfo d;
+  d.kind = DirInfo::Kind::Shared;
+  d.add_sharer(0);
+  d.add_sharer(63);
+  d.add_sharer(5);
+  EXPECT_EQ(d.sharer_count(), 3u);
+  EXPECT_TRUE(d.is_sharer(63));
+  d.remove_sharer(63);
+  EXPECT_FALSE(d.is_sharer(63));
+  EXPECT_EQ(d.sharer_count(), 2u);
+}
+
+}  // namespace
+}  // namespace disco::cache

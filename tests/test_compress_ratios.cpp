@@ -1,0 +1,143 @@
+// Compression-ratio behaviour per algorithm and per pattern class: the
+// qualitative relationships Table 1 and the value synthesizer rely on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "compress/registry.h"
+#include "compress/sc2.h"
+#include "workload/value_synth.h"
+
+namespace disco::compress {
+namespace {
+
+double mean_ratio(const Algorithm& algo, workload::PatternKind kind,
+                  std::size_t samples = 200) {
+  // Build a synthesizer that emits only the requested pattern.
+  workload::ValueMix mix;
+  switch (kind) {
+    case workload::PatternKind::Zero: mix.zero = 1; break;
+    case workload::PatternKind::Narrow: mix.narrow = 1; break;
+    case workload::PatternKind::LowDelta: mix.low_delta = 1; break;
+    case workload::PatternKind::Pointer: mix.pointer = 1; break;
+    case workload::PatternKind::Fp: mix.fp = 1; break;
+    case workload::PatternKind::Random: mix.random = 1; break;
+  }
+  workload::ValueSynthesizer synth(mix, 4242);
+  double bytes = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const BlockBytes b = synth.block_for(i * kBlockBytes);
+    bytes += static_cast<double>(algo.compress(b).size());
+  }
+  return static_cast<double>(kBlockBytes) * static_cast<double>(samples) / bytes;
+}
+
+TEST(Ratios, DeltaCompressesLowDeltaBlocks) {
+  auto algo = make_algorithm("delta");
+  EXPECT_GT(mean_ratio(*algo, workload::PatternKind::LowDelta), 3.0);
+}
+
+TEST(Ratios, DeltaZeroBlocksNearMax) {
+  auto algo = make_algorithm("delta");
+  EXPECT_GT(mean_ratio(*algo, workload::PatternKind::Zero), 30.0);
+}
+
+TEST(Ratios, DeltaRandomIncompressible) {
+  auto algo = make_algorithm("delta");
+  EXPECT_LT(mean_ratio(*algo, workload::PatternKind::Random), 1.05);
+}
+
+TEST(Ratios, FpHardForDictionaryFreeSchemes) {
+  for (const char* name : {"delta", "bdi", "fpc"}) {
+    auto algo = make_algorithm(name);
+    EXPECT_LT(mean_ratio(*algo, workload::PatternKind::Fp), 1.2)
+        << name << " should not compress random-mantissa doubles";
+  }
+}
+
+TEST(Ratios, NarrowCompressibleByAll) {
+  for (const char* name : {"delta", "bdi", "fpc", "sfpc", "cpack", "sc2"}) {
+    auto algo = make_algorithm(name);
+    EXPECT_GT(mean_ratio(*algo, workload::PatternKind::Narrow), 1.8) << name;
+  }
+}
+
+TEST(Ratios, BdiAtLeastAsGoodAsDeltaOnDeltaFriendly) {
+  auto delta = make_algorithm("delta");
+  auto bdi = make_algorithm("bdi");
+  const double rd = mean_ratio(*delta, workload::PatternKind::LowDelta);
+  const double rb = mean_ratio(*bdi, workload::PatternKind::LowDelta);
+  EXPECT_GE(rb, rd * 0.85) << "BDI explores a superset of delta encodings";
+}
+
+TEST(Ratios, FpcBeatsSfpc) {
+  // FPC's zero-run coding and richer pattern set must beat simplified FPC
+  // on zero-heavy structured content (Table 1: 1.5 vs 1.33). Content where
+  // zero words appear isolated (no runs) is where SFPC's cheap single-zero
+  // code catches up — hence the run-friendly mix here.
+  auto fpc = make_algorithm("fpc");
+  auto sfpc = make_algorithm("sfpc");
+  workload::ValueMix mix{0.45, 0.0, 0.2, 0.15, 0.0, 0.2};
+  workload::ValueSynthesizer synth(mix, 11);
+  double fpc_bytes = 0, sfpc_bytes = 0;
+  for (Addr a = 0; a < 300 * kBlockBytes; a += kBlockBytes) {
+    const BlockBytes b = synth.block_for(a);
+    fpc_bytes += static_cast<double>(fpc->compress(b).size());
+    sfpc_bytes += static_cast<double>(sfpc->compress(b).size());
+  }
+  EXPECT_LT(fpc_bytes, sfpc_bytes);
+}
+
+TEST(Ratios, Sc2TrainedBeatsGenericOnItsWorkload) {
+  workload::ValueMix mix{0.1, 0.2, 0.3, 0.2, 0.1, 0.1};
+  workload::ValueSynthesizer synth(mix, 9);
+  std::vector<BlockBytes> sample;
+  for (Addr a = 0; a < 1024 * kBlockBytes; a += kBlockBytes)
+    sample.push_back(synth.block_for(a));
+
+  Sc2Algorithm generic;
+  Sc2Algorithm trained(std::span<const BlockBytes>(sample.data(), sample.size()));
+
+  double generic_bytes = 0, trained_bytes = 0;
+  for (Addr a = 2048 * kBlockBytes; a < 2448 * kBlockBytes; a += kBlockBytes) {
+    const BlockBytes b = synth.block_for(a);
+    generic_bytes += static_cast<double>(generic.compress(b).size());
+    trained_bytes += static_cast<double>(trained.compress(b).size());
+  }
+  EXPECT_LT(trained_bytes, generic_bytes)
+      << "the SC2 sampling phase must pay off on its own value population";
+}
+
+TEST(Ratios, Sc2HighestOnFrequentValueContent) {
+  // SC2's headline feature (Table 1: ~2.4x where pattern schemes get ~1.5x)
+  // shows on content dominated by recurring values (zeros, small integers).
+  workload::ValueMix mix{0.3, 0.6, 0.0, 0.0, 0.0, 0.1};
+  workload::ValueSynthesizer synth(mix, 5);
+  std::vector<BlockBytes> sample;
+  for (Addr a = 0; a < 1024 * kBlockBytes; a += kBlockBytes)
+    sample.push_back(synth.block_for(a));
+  Sc2Algorithm sc2(std::span<const BlockBytes>(sample.data(), sample.size()));
+  auto delta = make_algorithm("delta");
+
+  double sc2_bytes = 0, delta_bytes = 0;
+  for (Addr a = 0; a < 400 * kBlockBytes; a += kBlockBytes) {
+    const BlockBytes b = synth.block_for(a);
+    sc2_bytes += static_cast<double>(sc2.compress(b).size());
+    delta_bytes += static_cast<double>(delta->compress(b).size());
+  }
+  EXPECT_LT(sc2_bytes, delta_bytes);
+}
+
+TEST(Ratios, EncodedNeverLargerThanRawFallback) {
+  workload::ValueMix mix{0.1, 0.1, 0.2, 0.2, 0.2, 0.2};
+  workload::ValueSynthesizer synth(mix, 123);
+  for (const auto& name : algorithm_names()) {
+    auto algo = make_algorithm(name);
+    for (Addr a = 0; a < 200 * kBlockBytes; a += kBlockBytes) {
+      EXPECT_LE(algo->compress(synth.block_for(a)).size(), kBlockBytes + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace disco::compress

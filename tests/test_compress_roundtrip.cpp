@@ -1,0 +1,153 @@
+// Property tests: every algorithm must losslessly round-trip every block —
+// the invariant DISCO's in-flight transformations rely on. Parameterized
+// over all registered algorithms x a corpus of pattern classes and random
+// fuzz blocks.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "compress/registry.h"
+#include "workload/value_synth.h"
+
+namespace disco::compress {
+namespace {
+
+BlockBytes block_of_u64(std::initializer_list<std::uint64_t> words) {
+  BlockBytes b{};
+  std::size_t i = 0;
+  for (std::uint64_t w : words) {
+    std::memcpy(b.data() + i * 8, &w, 8);
+    ++i;
+  }
+  return b;
+}
+
+class RoundTrip : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { algo_ = make_algorithm(GetParam()); }
+
+  void expect_roundtrip(const BlockBytes& block) {
+    const Encoded enc = algo_->compress(block);
+    ASSERT_LE(enc.size(), kBlockBytes + 1) << "fallback must bound the encoding";
+    ASSERT_GE(enc.size(), 1u);
+    const BlockBytes out =
+        algo_->decompress(std::span<const std::uint8_t>(enc.bytes));
+    EXPECT_EQ(out, block) << "lossy round-trip in " << GetParam();
+  }
+
+  std::unique_ptr<Algorithm> algo_;
+};
+
+TEST_P(RoundTrip, ZeroBlock) { expect_roundtrip(zero_block()); }
+
+TEST_P(RoundTrip, ZeroBlockCompressesWell) {
+  const Encoded enc = algo_->compress(zero_block());
+  EXPECT_LT(enc.size(), kBlockBytes / 2) << "all-zero block barely compressed";
+}
+
+TEST_P(RoundTrip, AllOnesBytes) {
+  BlockBytes b;
+  b.fill(0xFF);
+  expect_roundtrip(b);
+}
+
+TEST_P(RoundTrip, RepeatedWord) {
+  expect_roundtrip(block_of_u64({42, 42, 42, 42, 42, 42, 42, 42}));
+}
+
+TEST_P(RoundTrip, SmallDeltasFromBase) {
+  const std::uint64_t base = 0xDEADBEEF12345678ULL;
+  expect_roundtrip(block_of_u64({base, base + 1, base + 17, base + 250,
+                                 base + 3, base + 99, base + 254, base + 128}));
+}
+
+TEST_P(RoundTrip, NegativeDeltas) {
+  const std::uint64_t base = 1'000'000;
+  expect_roundtrip(block_of_u64({base, base - 1, base - 100, base - 128,
+                                 base + 127, base - 50, base, base - 2}));
+}
+
+TEST_P(RoundTrip, MixedZeroAndBase) {
+  const std::uint64_t base = 0x7F0000001000ULL;
+  expect_roundtrip(block_of_u64({base, 0, base + 5, 0, 3, base + 200, 0, 250}));
+}
+
+TEST_P(RoundTrip, PointerLikeValues) {
+  const std::uint64_t heap = 0x00007F3A00000000ULL;
+  expect_roundtrip(block_of_u64({heap + 0x10, heap + 0x40, heap + 0x88,
+                                 heap + 0x100, heap + 0x148, heap + 0x1F0,
+                                 heap + 0x238, heap + 0x280}));
+}
+
+TEST_P(RoundTrip, IncompressibleRandomFallsBackRaw) {
+  Rng rng(99);
+  BlockBytes b;
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.next_u64());
+  expect_roundtrip(b);
+}
+
+TEST_P(RoundTrip, SignedBoundaryValues) {
+  expect_roundtrip(block_of_u64(
+      {0x8000000000000000ULL, 0x7FFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL, 1,
+       0x80, 0x7F, 0xFF80, 0x10000}));
+}
+
+TEST_P(RoundTrip, FuzzRandomBlocks) {
+  Rng rng(0xF00D);
+  for (int trial = 0; trial < 300; ++trial) {
+    BlockBytes b;
+    for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.next_u64());
+    expect_roundtrip(b);
+  }
+}
+
+TEST_P(RoundTrip, FuzzStructuredBlocks) {
+  // Mix of the value-synthesizer patterns at various weights.
+  workload::ValueMix mix{0.2, 0.2, 0.2, 0.15, 0.15, 0.1};
+  workload::ValueSynthesizer synth(mix, 777);
+  for (Addr a = 0; a < 500 * kBlockBytes; a += kBlockBytes) {
+    expect_roundtrip(synth.block_for(a));
+  }
+}
+
+TEST_P(RoundTrip, FuzzSparseBlocks) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 200; ++trial) {
+    BlockBytes b{};
+    const int nonzero = 1 + static_cast<int>(rng.next_below(10));
+    for (int i = 0; i < nonzero; ++i)
+      b[rng.next_below(kBlockBytes)] = static_cast<std::uint8_t>(rng.next_u64());
+    expect_roundtrip(b);
+  }
+}
+
+TEST_P(RoundTrip, LatencyModelIsSane) {
+  const LatencyModel lat = algo_->latency();
+  EXPECT_GE(lat.comp_cycles, 1u);
+  EXPECT_GE(lat.decomp_cycles, 1u);
+  EXPECT_LE(lat.comp_cycles, 20u);
+  EXPECT_LE(lat.decomp_cycles, 20u);
+  EXPECT_GT(algo_->hardware_overhead(), 0.0);
+  EXPECT_LT(algo_->hardware_overhead(), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, RoundTrip,
+                         ::testing::Values("delta", "bdi", "fpc", "sfpc",
+                                           "cpack", "sc2", "fvc", "zerobit"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_algorithm("lz4"), std::invalid_argument);
+}
+
+TEST(Registry, NamesAreConstructible) {
+  for (const auto& name : algorithm_names()) {
+    auto algo = make_algorithm(name);
+    ASSERT_NE(algo, nullptr);
+    EXPECT_EQ(algo->name(), name);
+  }
+}
+
+}  // namespace
+}  // namespace disco::compress

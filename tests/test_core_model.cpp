@@ -1,0 +1,80 @@
+// Trace-driven core model tests: issue pacing against the profile's memory
+// op rate, window-limited stalling, and counter bookkeeping.
+#include <gtest/gtest.h>
+
+#include "cmp/system.h"
+#include "workload/profile.h"
+
+namespace disco::cmp {
+namespace {
+
+TEST(CoreModel, IssueRateTracksProfile) {
+  SystemConfig cfg;
+  cfg.scheme = Scheme::Ideal;  // fastest misses -> least window throttling
+  const auto& profile = workload::profile_by_name("swaptions");
+  CmpSystem sys(cfg, profile);
+  sys.functional_warmup(8000);
+  sys.run(30000);
+  const double per_core_rate =
+      static_cast<double>(sys.total_core_ops()) / (16.0 * 30000.0);
+  // Under a warm cache the issue rate approaches the trace's op rate.
+  EXPECT_GT(per_core_rate, profile.mem_op_rate * 0.7);
+  EXPECT_LE(per_core_rate, profile.mem_op_rate * 1.1);
+}
+
+TEST(CoreModel, LoadsAndStoresSplitLikeWriteRatio) {
+  SystemConfig cfg;
+  const auto& profile = workload::profile_by_name("x264");  // 0.40 writes
+  CmpSystem sys(cfg, profile);
+  sys.functional_warmup(3000);
+  sys.run(20000);
+  std::uint64_t loads = 0, stores = 0;
+  for (NodeId n = 0; n < 16; ++n) {
+    loads += sys.core(n).loads_issued();
+    stores += sys.core(n).stores_issued();
+  }
+  ASSERT_GT(loads + stores, 1000u);
+  EXPECT_NEAR(static_cast<double>(stores) / static_cast<double>(loads + stores),
+              profile.write_ratio, 0.06);
+}
+
+TEST(CoreModel, OutstandingNeverExceedsWindow) {
+  SystemConfig cfg;
+  cfg.scheme = Scheme::Baseline;
+  CmpSystem sys(cfg, workload::profile_by_name("canneal"));
+  sys.functional_warmup(2000);
+  for (int chunk = 0; chunk < 50; ++chunk) {
+    sys.run(200);
+    for (NodeId n = 0; n < 16; ++n) {
+      EXPECT_LE(sys.core(n).outstanding(), 8u);
+    }
+  }
+}
+
+TEST(CoreModel, ResetCountersClearsIssueStats) {
+  SystemConfig cfg;
+  CmpSystem sys(cfg, workload::profile_by_name("vips"));
+  sys.functional_warmup(2000);
+  sys.run(5000);
+  ASSERT_GT(sys.core(0).ops_issued(), 0u);
+  sys.reset_stats();
+  EXPECT_EQ(sys.core(0).ops_issued(), 0u);
+  EXPECT_EQ(sys.core(0).stall_cycles(), 0u);
+}
+
+TEST(CoreModel, StallAccountingConsistent) {
+  SystemConfig cfg;
+  cfg.scheme = Scheme::CC;
+  CmpSystem sys(cfg, workload::profile_by_name("dedup"));
+  sys.functional_warmup(4000);
+  sys.reset_stats();
+  sys.run(10000);
+  for (NodeId n = 0; n < 16; ++n) {
+    const auto& core = sys.core(n);
+    EXPECT_EQ(core.stall_cycles(),
+              core.window_stalls() + core.blocked_stalls());
+  }
+}
+
+}  // namespace
+}  // namespace disco::cmp

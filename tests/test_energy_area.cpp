@@ -1,0 +1,119 @@
+// Energy/area model tests: monotonicity, scheme-dependent hardware counts,
+// and the paper's section-4.3 area arithmetic.
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+#include "energy/params.h"
+
+namespace disco::energy {
+namespace {
+
+noc::NocStats traffic(std::uint64_t flits) {
+  noc::NocStats s;
+  s.link_flits = flits;
+  s.buffer_writes = flits;
+  s.buffer_reads = flits;
+  s.crossbar_traversals = flits;
+  s.alloc_ops = flits / 2;
+  return s;
+}
+
+TEST(Energy, MoreTrafficMoreEnergy) {
+  SystemConfig cfg;
+  cache::CacheStats cs;
+  const auto lo = compute_energy(traffic(1000), cs, cfg, 10000, 1.0);
+  const auto hi = compute_energy(traffic(5000), cs, cfg, 10000, 1.0);
+  EXPECT_GT(hi.noc_dynamic_nj, lo.noc_dynamic_nj);
+  EXPECT_EQ(hi.noc_leakage_nj, lo.noc_leakage_nj) << "leakage is time-based";
+}
+
+TEST(Energy, LeakageScalesWithTime) {
+  SystemConfig cfg;
+  cache::CacheStats cs;
+  noc::NocStats ns;
+  const auto t1 = compute_energy(ns, cs, cfg, 10000, 1.0);
+  const auto t2 = compute_energy(ns, cs, cfg, 20000, 1.0);
+  EXPECT_NEAR(t2.noc_leakage_nj, 2 * t1.noc_leakage_nj, 1e-9);
+  EXPECT_NEAR(t2.l2_leakage_nj, 2 * t1.l2_leakage_nj, 1e-9);
+}
+
+TEST(Energy, CompressorUnitsPerScheme) {
+  EXPECT_EQ(compressor_units(Scheme::Baseline, 16), 0u);
+  EXPECT_EQ(compressor_units(Scheme::CC, 16), 16u);
+  EXPECT_EQ(compressor_units(Scheme::CNC, 16), 32u);
+  EXPECT_EQ(compressor_units(Scheme::DISCO, 16), 16u);
+}
+
+TEST(Energy, CncLeaksMoreCompressorPowerThanDisco) {
+  cache::CacheStats cs;
+  noc::NocStats ns;
+  SystemConfig cnc;
+  cnc.scheme = Scheme::CNC;
+  SystemConfig disco;
+  disco.scheme = Scheme::DISCO;
+  const auto e_cnc = compute_energy(ns, cs, cnc, 50000, 1.0);
+  const auto e_disco = compute_energy(ns, cs, disco, 50000, 1.0);
+  EXPECT_GT(e_cnc.compressor_leakage_nj, e_disco.compressor_leakage_nj);
+}
+
+TEST(Energy, DramReportedSeparately) {
+  SystemConfig cfg;
+  noc::NocStats ns;
+  cache::CacheStats cs;
+  cs.dram_reads = 100;
+  const auto e = compute_energy(ns, cs, cfg, 1000, 1.0);
+  EXPECT_GT(e.dram_nj, 0.0);
+  // On-chip subsystem energy excludes DRAM.
+  cache::CacheStats cs2;
+  const auto e2 = compute_energy(ns, cs2, cfg, 1000, 1.0);
+  EXPECT_NEAR(e.subsystem_nj(), e2.subsystem_nj(), 1e-9);
+}
+
+TEST(Area, DiscoAddsPaperFractionOfRouter) {
+  const AreaReport a = compute_area(Scheme::DISCO, 16, 1.0);
+  EXPECT_NEAR(a.overhead_vs_router, kDiscoUnitAreaFraction, 1e-9)
+      << "section 4.3: +17.2% of the router area";
+}
+
+TEST(Area, DiscoUnderOnePercentOfNuca) {
+  const AreaReport a = compute_area(Scheme::DISCO, 16, 1.0);
+  EXPECT_LT(a.overhead_vs_nuca, 0.01) << "section 4.3: <1% of the 4MB NUCA";
+}
+
+TEST(Area, DiscoSavesAboutHalfOfCnc) {
+  const AreaReport disco = compute_area(Scheme::DISCO, 16, 1.0);
+  const AreaReport cnc = compute_area(Scheme::CNC, 16, 1.0);
+  EXPECT_NEAR(disco.compression_mm2 / cnc.compression_mm2, 0.5, 0.05)
+      << "section 4.3: DISCO saves about half of CNC's overhead";
+}
+
+TEST(Area, ScalesWithMeshSize) {
+  const AreaReport a16 = compute_area(Scheme::DISCO, 16, 1.0);
+  const AreaReport a64 = compute_area(Scheme::DISCO, 64, 1.0);
+  EXPECT_NEAR(a64.compression_mm2 / a16.compression_mm2, 4.0, 1e-9);
+  EXPECT_NEAR(a64.overhead_vs_nuca, a16.overhead_vs_nuca, 1e-9)
+      << "relative overhead is scale-invariant when the NUCA scales too";
+}
+
+TEST(Stats, AccumulatorBasics) {
+  Accumulator a;
+  EXPECT_EQ(a.mean(), 0.0);
+  a.add(2);
+  a.add(4);
+  a.add(9);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_NEAR(a.mean(), 5.0, 1e-12);
+  EXPECT_EQ(a.min(), 2.0);
+  EXPECT_EQ(a.max(), 9.0);
+}
+
+TEST(Stats, HistogramQuantiles) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.add(10);
+  for (int i = 0; i < 10; ++i) h.add(1000);
+  EXPECT_LE(h.approx_quantile(0.5), 16u);
+  EXPECT_GE(h.approx_quantile(0.95), 512u);
+}
+
+}  // namespace
+}  // namespace disco::energy

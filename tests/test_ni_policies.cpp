@@ -1,0 +1,146 @@
+// Network-interface policy tests: per-scheme NI behaviour in isolation —
+// CNC-style inject-compress/eject-decompress, DISCO-style raw-consumer
+// decompression, source-queue idle compression, and latency accounting.
+#include <gtest/gtest.h>
+
+#include "compress/registry.h"
+#include "noc_test_util.h"
+
+namespace disco::noc {
+namespace {
+
+using testutil::CollectingSink;
+using testutil::make_packet;
+using testutil::run_until_quiescent;
+
+class NiPolicyFixture : public ::testing::Test {
+ protected:
+  void build(NiPolicy policy) {
+    net_ = std::make_unique<Network>(NocConfig{}, policy, stats_);
+    sinks_.clear();
+    sinks_.resize(16);
+    bank_sinks_.clear();
+    for (NodeId n = 0; n < 16; ++n) {
+      net_->register_sink(n, UnitKind::Core, &sinks_[n]);
+      net_->register_sink(n, UnitKind::L2Bank, &bank_sinks_.emplace_back());
+    }
+  }
+
+  std::unique_ptr<compress::Algorithm> algo_ = compress::make_algorithm("delta");
+  NocStats stats_;
+  std::unique_ptr<Network> net_;
+  std::vector<CollectingSink> sinks_;
+  std::deque<CollectingSink> bank_sinks_;
+  Cycle clock_ = 0;
+};
+
+TEST_F(NiPolicyFixture, CncCompressesOnInjectAndDecompressesOnEject) {
+  NiPolicy p;
+  p.algo = algo_.get();
+  p.compress_on_inject = true;
+  p.decompress_on_eject_all = true;
+  p.comp_cycles = 1;
+  p.decomp_cycles = 3;
+  build(p);
+
+  auto pkt = make_packet(0, 15, VNet::Response, true, clock_, 1);
+  const BlockBytes truth = pkt->data;
+  net_->inject(0, pkt, clock_);
+  ASSERT_TRUE(run_until_quiescent(*net_, clock_, 300));
+  ASSERT_EQ(sinks_[15].arrivals.size(), 1u);
+  EXPECT_EQ(sinks_[15].arrivals[0].pkt->data, truth);
+  EXPECT_FALSE(sinks_[15].arrivals[0].pkt->compressed());
+  EXPECT_EQ(stats_.ni_compressions, 1u);
+  EXPECT_EQ(stats_.ni_decompressions, 1u);
+  EXPECT_EQ(stats_.exposed_comp_cycles, 1u);
+  EXPECT_EQ(stats_.exposed_decomp_cycles, 3u);
+  // Compressed on the wire: far fewer flits than the raw 8.
+  EXPECT_LT(stats_.flits_injected, 8u);
+}
+
+TEST_F(NiPolicyFixture, CncDecompressDelaysDelivery) {
+  NiPolicy with;
+  with.algo = algo_.get();
+  with.compress_on_inject = true;
+  with.decompress_on_eject_all = true;
+  with.decomp_cycles = 3;
+  build(with);
+  net_->inject(0, make_packet(0, 15, VNet::Response, true, clock_, 1), clock_);
+  ASSERT_TRUE(run_until_quiescent(*net_, clock_, 300));
+  const Cycle with_lat =
+      sinks_[15].arrivals[0].when - sinks_[15].arrivals[0].pkt->injected;
+
+  NiPolicy zero = with;
+  zero.decomp_cycles = 0;
+  stats_ = NocStats{};
+  clock_ = 0;
+  build(zero);
+  net_->inject(0, make_packet(0, 15, VNet::Response, true, clock_, 2), clock_);
+  ASSERT_TRUE(run_until_quiescent(*net_, clock_, 300));
+  const Cycle zero_lat =
+      sinks_[15].arrivals[0].when - sinks_[15].arrivals[0].pkt->injected;
+  EXPECT_EQ(with_lat, zero_lat + 3);
+}
+
+TEST_F(NiPolicyFixture, RawConsumerPolicyLeavesBankPacketsCompressed) {
+  NiPolicy p;
+  p.algo = algo_.get();
+  p.compress_on_inject = true;
+  p.decompress_for_raw_consumers = true;
+  build(p);
+
+  auto to_core = make_packet(0, 15, VNet::Response, true, clock_, 1);
+  auto to_bank = make_packet(0, 14, VNet::Response, true, clock_, 2);
+  to_bank->dst_unit = UnitKind::L2Bank;
+  net_->inject(0, to_core, clock_);
+  net_->inject(0, to_bank, clock_);
+  ASSERT_TRUE(run_until_quiescent(*net_, clock_, 500));
+
+  ASSERT_EQ(sinks_[15].arrivals.size(), 1u);
+  EXPECT_FALSE(sinks_[15].arrivals[0].pkt->compressed())
+      << "core consumers get raw data";
+  ASSERT_EQ(bank_sinks_[14].arrivals.size(), 1u);
+  EXPECT_TRUE(bank_sinks_[14].arrivals[0].pkt->compressed())
+      << "bank consumers keep the wire form for direct storage";
+}
+
+TEST_F(NiPolicyFixture, SourceQueueCompressionKicksInWhenBackedUp) {
+  NiPolicy p;
+  p.algo = algo_.get();
+  p.decompress_for_raw_consumers = true;
+  p.compress_when_source_queued = true;
+  p.comp_cycles = 1;
+  p.decomp_cycles = 3;
+  build(p);
+
+  // Flood one NI so its injection queue backs up.
+  for (std::uint64_t id = 1; id <= 20; ++id) {
+    net_->inject(0, make_packet(0, 15, VNet::Response, true, clock_, id), clock_);
+  }
+  ASSERT_TRUE(run_until_quiescent(*net_, clock_, 5000));
+  EXPECT_EQ(sinks_[15].arrivals.size(), 20u);
+  EXPECT_GT(stats_.source_compressions, 10u)
+      << "queued packets must be compressed while waiting";
+  for (const auto& a : sinks_[15].arrivals) {
+    EXPECT_FALSE(a.pkt->compressed());
+  }
+}
+
+TEST_F(NiPolicyFixture, IncompressiblePacketMarkedAndTravelsRaw) {
+  NiPolicy p;
+  p.algo = algo_.get();
+  p.compress_on_inject = true;
+  p.decompress_on_eject_all = true;
+  build(p);
+
+  auto pkt = make_packet(0, 15, VNet::Response, true, clock_, 1);
+  Rng rng(555);
+  for (auto& byte : pkt->data) byte = static_cast<std::uint8_t>(rng.next_u64());
+  net_->inject(0, pkt, clock_);
+  ASSERT_TRUE(run_until_quiescent(*net_, clock_, 300));
+  EXPECT_EQ(stats_.flits_injected, 8u) << "raw fallback keeps full size";
+  EXPECT_EQ(sinks_[15].arrivals.at(0).pkt->data, pkt->data);
+}
+
+}  // namespace
+}  // namespace disco::noc

@@ -1,0 +1,80 @@
+// Larger-scale stress: golden-model coherence fuzz on a 16-node mini CMP
+// (heavy sharing), and an 8x8 full system with the slowest algorithm —
+// the configurations where protocol races and shadow-packet corner cases
+// are most likely to surface.
+#include <gtest/gtest.h>
+
+#include "cache_test_util.h"
+#include "cmp/system.h"
+#include "workload/profile.h"
+
+namespace disco::cache {
+namespace {
+
+using testutil::MiniCmp;
+using testutil::word_at;
+
+TEST(ScaleStress, SixteenNodeGoldenModelUnderDisco) {
+  MiniCmp cmp(Scheme::DISCO, /*nodes_side=*/4);
+  Rng rng(12021);
+  std::map<Addr, std::uint64_t> golden;
+  // Heavy sharing: 32 hot blocks hammered by all 16 nodes.
+  for (int i = 0; i < 400; ++i) {
+    const Addr addr = rng.next_below(32) * kBlockBytes;
+    const auto node = static_cast<NodeId>(rng.next_below(16));
+    if (rng.chance(0.5)) {
+      const std::uint64_t v = rng.next_u64();
+      cmp.store(node, addr, v);
+      golden[addr] = v;
+    } else {
+      const BlockBytes b = cmp.load(node, addr);
+      if (auto it = golden.find(addr); it != golden.end()) {
+        EXPECT_EQ(word_at(b, 0), it->second)
+            << "node " << node << " block " << std::hex << addr;
+      }
+    }
+  }
+  EXPECT_GT(cmp.stats_.invalidations_sent + cmp.stats_.recalls_sent, 100u)
+      << "the fuzz must actually exercise coherence actions";
+}
+
+TEST(ScaleStress, SixteenNodeConcurrentBurstsDrain) {
+  // Issue bursts from every node without draining in between: in-flight
+  // transactions overlap across all banks at once.
+  MiniCmp cmp(Scheme::DISCO, /*nodes_side=*/4, "bdi");
+  Rng rng(5150);
+  for (int burst = 0; burst < 20; ++burst) {
+    for (NodeId node = 0; node < 16; ++node) {
+      const Addr addr = rng.next_below(256) * kBlockBytes;
+      cmp.issue(node, addr, rng.chance(0.4), rng.next_u64());
+    }
+    for (int t = 0; t < 5; ++t) cmp.tick();
+  }
+  ASSERT_TRUE(cmp.drain(100000)) << "overlapping transactions must converge";
+  EXPECT_TRUE(cmp.net_->credits_quiescent());
+}
+
+}  // namespace
+}  // namespace disco::cache
+
+namespace disco::cmp {
+namespace {
+
+TEST(ScaleStress, EightByEightWithSlowAlgorithm) {
+  SystemConfig cfg;
+  cfg.scheme = Scheme::DISCO;
+  cfg.algorithm = "sc2";  // 6/14-cycle engines: longest shadow windows
+  cfg.noc.mesh_cols = 8;
+  cfg.noc.mesh_rows = 8;
+  cfg.l2.total_size_bytes = 16ULL * 1024 * 1024;
+  cfg.mem.num_controllers = 4;
+  CmpSystem sys(cfg, workload::profile_by_name("canneal"));
+  sys.functional_warmup(1500);
+  sys.run(8000);
+  EXPECT_TRUE(sys.drain(60000));
+  EXPECT_TRUE(sys.network().credits_quiescent());
+  EXPECT_GT(sys.cache_stats().nuca_latency.count(), 0u);
+}
+
+}  // namespace
+}  // namespace disco::cmp

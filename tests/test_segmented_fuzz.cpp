@@ -1,0 +1,81 @@
+// Randomized fuzz of the segmented compressed array: arbitrary sequences
+// of install / erase / resize / touch with a shadow model, checking the
+// segment-accounting invariants after every operation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cache/arrays.h"
+#include "common/rng.h"
+
+namespace disco::cache {
+namespace {
+
+TEST(SegmentedFuzz, AccountingMatchesShadowModel) {
+  SegmentedArray arr(64 * 1024, 8, 4, /*index_shift=*/0);
+  Rng rng(2024);
+  // Shadow: addr -> segments.
+  std::map<Addr, std::uint32_t> shadow;
+  const auto total_capacity = [&] {
+    return static_cast<std::uint64_t>(arr.sets()) * arr.segment_capacity();
+  };
+
+  Cycle now = 1;
+  for (int step = 0; step < 20000; ++step) {
+    const Addr addr = rng.next_below(4096) * kBlockBytes;
+    const auto it = shadow.find(addr);
+    const int action = static_cast<int>(rng.next_below(4));
+    ++now;
+
+    if (it == shadow.end()) {
+      const auto segs = 1 + static_cast<std::uint32_t>(rng.next_below(8));
+      if (arr.fits(addr, segs)) {
+        arr.install(addr, segs, now);
+        shadow[addr] = segs;
+      } else {
+        // Full set: evict the array's victim to stay in sync.
+        L2Line* victim = arr.lru_victim(addr, addr);
+        if (victim != nullptr) {
+          shadow.erase(victim->addr);
+          arr.erase(victim->addr);
+        }
+      }
+    } else if (action == 0) {
+      arr.erase(addr);
+      shadow.erase(it);
+    } else if (action == 1) {
+      L2Line* line = arr.lookup(addr);
+      ASSERT_NE(line, nullptr);
+      const auto new_segs = 1 + static_cast<std::uint32_t>(rng.next_below(8));
+      const std::uint32_t extra =
+          new_segs > line->segments ? new_segs - line->segments : 0;
+      if (arr.free_segments(addr) >= extra) {
+        arr.resize(*line, new_segs);
+        it->second = new_segs;
+      }
+    } else {
+      L2Line* line = arr.lookup(addr);
+      ASSERT_NE(line, nullptr);
+      line->lru = now;
+    }
+
+    // Invariants after every step.
+    if (step % 256 == 0) {
+      std::uint64_t shadow_segs = 0;
+      for (const auto& [a, s] : shadow) shadow_segs += s;
+      EXPECT_EQ(arr.used_segments(), shadow_segs);
+      EXPECT_EQ(arr.valid_lines(), shadow.size());
+      EXPECT_LE(arr.used_segments(), total_capacity());
+    }
+  }
+
+  // Final exact sweep: every shadow line present with the right size.
+  for (const auto& [addr, segs] : shadow) {
+    const L2Line* line = arr.lookup(addr);
+    ASSERT_NE(line, nullptr) << std::hex << addr;
+    EXPECT_EQ(line->segments, segs);
+  }
+}
+
+}  // namespace
+}  // namespace disco::cache

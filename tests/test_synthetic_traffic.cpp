@@ -1,0 +1,78 @@
+// Synthetic traffic pattern tests: destination-map properties per pattern
+// and the packet factory's compressibility contract.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "compress/registry.h"
+#include "workload/synthetic.h"
+
+namespace disco::workload {
+namespace {
+
+TEST(Synthetic, PatternNames) {
+  EXPECT_EQ(traffic_pattern_from_name("uniform"), TrafficPattern::UniformRandom);
+  EXPECT_EQ(traffic_pattern_from_name("hotspot"), TrafficPattern::Hotspot);
+  EXPECT_THROW(traffic_pattern_from_name("tornado"), std::invalid_argument);
+  EXPECT_STREQ(to_string(TrafficPattern::Transpose), "transpose");
+}
+
+TEST(Synthetic, TransposeIsAnInvolutionOnTheMesh) {
+  TrafficChooser chooser(TrafficPattern::Transpose, 4, 1);
+  for (NodeId src = 0; src < 16; ++src) {
+    const NodeId dst = chooser.pick(src);
+    EXPECT_EQ(chooser.pick(dst), src);
+  }
+  // Diagonal nodes map to themselves.
+  EXPECT_EQ(chooser.pick(0), 0);
+  EXPECT_EQ(chooser.pick(5), 5);
+}
+
+TEST(Synthetic, BitComplementIsDeterministicMirror) {
+  TrafficChooser chooser(TrafficPattern::BitComplement, 4, 1);
+  EXPECT_EQ(chooser.pick(0), 15);
+  EXPECT_EQ(chooser.pick(15), 0);
+  EXPECT_EQ(chooser.pick(3), 12);
+}
+
+TEST(Synthetic, NeighborWrapsWithinRow) {
+  TrafficChooser chooser(TrafficPattern::Neighbor, 4, 1);
+  EXPECT_EQ(chooser.pick(0), 1);
+  EXPECT_EQ(chooser.pick(3), 0);   // wraps to row start
+  EXPECT_EQ(chooser.pick(7), 4);
+}
+
+TEST(Synthetic, HotspotConcentration) {
+  TrafficChooser chooser(TrafficPattern::Hotspot, 4, 7, /*hotspot=*/5,
+                         /*fraction=*/0.4);
+  std::map<NodeId, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[chooser.pick(static_cast<NodeId>(i % 16))];
+  EXPECT_NEAR(static_cast<double>(counts[5]) / n, 0.4 + 0.6 / 16, 0.03);
+}
+
+TEST(Synthetic, UniformCoversAllNodes) {
+  TrafficChooser chooser(TrafficPattern::UniformRandom, 4, 3);
+  std::map<NodeId, int> counts;
+  for (int i = 0; i < 8000; ++i) ++counts[chooser.pick(0)];
+  EXPECT_EQ(counts.size(), 16u);
+  for (const auto& [node, c] : counts) EXPECT_GT(c, 8000 / 16 / 2) << node;
+}
+
+TEST(Synthetic, PacketFactoryCompressibilityContract) {
+  Rng rng(11);
+  auto delta = compress::make_algorithm("delta");
+  int compressible = 0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    const auto pkt = make_synthetic_packet(0, 1, i, 0, 0.7, rng);
+    EXPECT_TRUE(pkt->has_data);
+    EXPECT_TRUE(pkt->compressible);
+    EXPECT_EQ(pkt->flit_count(), 8u);
+    compressible += delta->compress(pkt->data).size() < kBlockBytes / 2 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(compressible) / n, 0.7, 0.08);
+}
+
+}  // namespace
+}  // namespace disco::workload

@@ -1,0 +1,106 @@
+// System-level matrix sweeps: every compression algorithm through the full
+// DISCO stack (the in-flight losslessness asserts make each run an
+// end-to-end property check), flow-control variants, and the detailed
+// report renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cmp/system.h"
+#include "sim/report.h"
+#include "workload/profile.h"
+
+namespace disco::cmp {
+namespace {
+
+class AlgorithmMatrix : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AlgorithmMatrix, FullSystemRunsAndDrainsUnderDisco) {
+  SystemConfig cfg;
+  cfg.scheme = Scheme::DISCO;
+  cfg.algorithm = GetParam();
+  CmpSystem sys(cfg, workload::profile_by_name("freqmine"));
+  sys.functional_warmup(3000);
+  sys.run(10000);
+  EXPECT_TRUE(sys.drain(40000)) << GetParam();
+  EXPECT_GT(sys.cache_stats().l1_misses, 0u);
+  // Compressed storage must be in effect for every algorithm.
+  EXPECT_GT(sys.cache_stats().stored_line_bytes.count(), 0u);
+  EXPECT_LT(sys.cache_stats().stored_line_bytes.mean(),
+            static_cast<double>(kBlockBytes) + 1.0);
+}
+
+TEST_P(AlgorithmMatrix, FullSystemRunsUnderCnc) {
+  SystemConfig cfg;
+  cfg.scheme = Scheme::CNC;
+  cfg.algorithm = GetParam();
+  CmpSystem sys(cfg, workload::profile_by_name("bodytrack"));
+  sys.functional_warmup(2000);
+  sys.run(8000);
+  EXPECT_TRUE(sys.drain(40000)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AlgorithmMatrix,
+                         ::testing::Values("delta", "bdi", "fpc", "sfpc",
+                                           "cpack", "sc2", "fvc", "zerobit"),
+                         [](const auto& info) { return info.param; });
+
+TEST(FlowControlMatrix, VctSystemDrainsAndMatchesSemantics) {
+  SystemConfig cfg;
+  cfg.scheme = Scheme::DISCO;
+  cfg.noc.flow_control = FlowControl::VirtualCutThrough;
+  CmpSystem sys(cfg, workload::profile_by_name("dedup"));
+  sys.functional_warmup(4000);
+  sys.run(12000);
+  EXPECT_TRUE(sys.drain(40000));
+  EXPECT_GT(sys.cache_stats().nuca_latency.count(), 0u);
+}
+
+TEST(FlowControlMatrix, VctNoSlowerThanWormholeAtLowLoad) {
+  auto run = [](FlowControl fc) {
+    SystemConfig cfg;
+    cfg.scheme = Scheme::Baseline;
+    cfg.noc.flow_control = fc;
+    CmpSystem sys(cfg, workload::profile_by_name("swaptions"));
+    sys.functional_warmup(6000);
+    sys.run(4000);
+    sys.reset_stats();
+    sys.run(20000);
+    return sys.cache_stats().nuca_latency.mean();
+  };
+  const double wh = run(FlowControl::Wormhole);
+  const double vct = run(FlowControl::VirtualCutThrough);
+  // At low load VCT's whole-packet credit requirement costs little; allow
+  // a modest bound rather than equality.
+  EXPECT_LT(vct, wh * 1.3);
+  EXPECT_GT(vct, wh * 0.7);
+}
+
+TEST(Report, ContainsAllSections) {
+  SystemConfig cfg;
+  cfg.scheme = Scheme::DISCO;
+  CmpSystem sys(cfg, workload::profile_by_name("vips"));
+  sys.functional_warmup(3000);
+  sys.run(8000);
+  std::ostringstream os;
+  sim::print_system_report(os, sys, 8000);
+  const std::string out = os.str();
+  for (const char* needle :
+       {"L1-miss latency", "NUCA-served", "cache hierarchy", "network",
+        "DISCO machinery", "energy", "subsystem total"}) {
+    EXPECT_NE(out.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Adaptive, SystemLevelRunIsStable) {
+  SystemConfig cfg;
+  cfg.scheme = Scheme::DISCO;
+  cfg.disco.adaptive_thresholds = true;
+  CmpSystem sys(cfg, workload::profile_by_name("canneal"));
+  sys.functional_warmup(4000);
+  sys.run(15000);
+  EXPECT_TRUE(sys.drain(40000));
+}
+
+}  // namespace
+}  // namespace disco::cmp

@@ -1,0 +1,108 @@
+// Trace record/replay and JSON export tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/json_export.h"
+#include "workload/profile.h"
+#include "workload/trace_io.h"
+
+namespace disco::workload {
+namespace {
+
+TEST(TraceIo, RecordWriteReadRoundTrip) {
+  const auto& profile = profile_by_name("vips");
+  const auto trace = record_trace(profile, 4, 50, 42);
+  ASSERT_EQ(trace.size(), 200u);
+
+  std::stringstream ss;
+  write_trace(ss, trace);
+  const auto back = read_trace(ss);
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(back[i].core, trace[i].core);
+    EXPECT_EQ(back[i].op.addr, trace[i].op.addr);
+    EXPECT_EQ(back[i].op.is_store, trace[i].op.is_store);
+    EXPECT_EQ(back[i].op.gap, trace[i].op.gap);
+  }
+}
+
+TEST(TraceIo, RecordingMatchesLiveGenerators) {
+  const auto& profile = profile_by_name("dedup");
+  const auto trace = record_trace(profile, 2, 30, 7);
+  TraceGenerator live0(profile, 0, 7);
+  TraceReplayer replay0(trace, 0);
+  for (int i = 0; i < 30; ++i) {
+    const TraceOp a = live0.next();
+    const TraceOp b = replay0.next();
+    EXPECT_EQ(a.addr, b.addr);
+    EXPECT_EQ(a.is_store, b.is_store);
+    EXPECT_EQ(a.gap, b.gap);
+  }
+}
+
+TEST(TraceIo, ReplayerLoops) {
+  std::vector<RecordedOp> trace = {{0, {0x1000, false, 2}}, {0, {0x2000, true, 0}}};
+  TraceReplayer r(trace, 0);
+  EXPECT_EQ(r.next().addr, 0x1000u);
+  EXPECT_EQ(r.next().addr, 0x2000u);
+  EXPECT_EQ(r.next().addr, 0x1000u) << "replay wraps around";
+}
+
+TEST(TraceIo, RejectsMalformedLines) {
+  std::stringstream ss("0 X deadbeef 3\n");
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+  std::stringstream ss2("# only a comment\n");
+  EXPECT_TRUE(read_trace(ss2).empty());
+}
+
+TEST(TraceIo, FiltersPerCore) {
+  std::vector<RecordedOp> trace = {
+      {0, {0x10, false, 0}}, {1, {0x20, false, 0}}, {0, {0x30, true, 1}}};
+  TraceReplayer r0(trace, 0);
+  TraceReplayer r1(trace, 1);
+  EXPECT_EQ(r0.ops_for_core(), 2u);
+  EXPECT_EQ(r1.ops_for_core(), 1u);
+  EXPECT_EQ(r1.next().addr, 0x20u);
+}
+
+}  // namespace
+}  // namespace disco::workload
+
+namespace disco::sim {
+namespace {
+
+CellResult sample_result() {
+  CellResult r;
+  r.workload = "canneal";
+  r.algorithm = "delta";
+  r.scheme = Scheme::DISCO;
+  r.measured_cycles = 1000;
+  r.core_ops = 1234;
+  r.avg_nuca_latency = 41.5;
+  r.energy.noc_dynamic_nj = 10.0;
+  r.energy.l2_dynamic_nj = 5.0;
+  return r;
+}
+
+TEST(JsonExport, SingleObjectHasKeyFields) {
+  std::stringstream ss;
+  write_json(ss, sample_result());
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("\"workload\":\"canneal\""), std::string::npos);
+  EXPECT_NE(out.find("\"scheme\":\"DISCO\""), std::string::npos);
+  EXPECT_NE(out.find("\"avg_nuca_latency\":41.5"), std::string::npos);
+  EXPECT_NE(out.find("\"subsystem_nj\":15"), std::string::npos);
+}
+
+TEST(JsonExport, ArrayBracketsAndCommas) {
+  std::stringstream ss;
+  write_json(ss, std::vector<CellResult>{sample_result(), sample_result()});
+  const std::string out = ss.str();
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_NE(out.find("},\n"), std::string::npos);
+  EXPECT_NE(out.find("]\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace disco::sim

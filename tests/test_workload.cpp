@@ -1,0 +1,176 @@
+// Workload substrate tests: profile table sanity, value-synthesizer
+// determinism and pattern statistics, trace-generator locality/mix, and the
+// page-frame scattering map.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <unordered_map>
+
+#include "compress/registry.h"
+#include "workload/profile.h"
+#include "workload/trace_gen.h"
+#include "workload/value_synth.h"
+
+namespace disco::workload {
+namespace {
+
+Addr cache_align(Addr a) { return a & ~Addr{kBlockBytes - 1}; }
+
+TEST(Profiles, ThirteenParsecWorkloads) {
+  EXPECT_EQ(parsec_profiles().size(), 13u);
+  std::set<std::string> names;
+  for (const auto& p : parsec_profiles()) names.insert(p.name);
+  for (const char* expected :
+       {"blackscholes", "bodytrack", "canneal", "dedup", "facesim", "ferret",
+        "fluidanimate", "freqmine", "raytrace", "streamcluster", "swaptions",
+        "vips", "x264"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(Profiles, ParametersInSaneRanges) {
+  for (const auto& p : parsec_profiles()) {
+    EXPECT_NEAR(p.values.sum(), 1.0, 1e-9) << p.name;
+    EXPECT_GT(p.footprint_blocks, 500u) << p.name;
+    EXPECT_LT(p.footprint_blocks, 100000u) << p.name;
+    EXPECT_GT(p.hot_fraction, 0.5) << p.name;
+    EXPECT_LE(p.hot_fraction, 1.0) << p.name;
+    EXPECT_GT(p.mem_op_rate, 0.0) << p.name;
+    EXPECT_LT(p.mem_op_rate, 0.5) << p.name;
+    EXPECT_GE(p.write_ratio, 0.0) << p.name;
+    EXPECT_LE(p.write_ratio, 0.6) << p.name;
+  }
+}
+
+TEST(Profiles, LookupByName) {
+  EXPECT_EQ(profile_by_name("canneal").name, "canneal");
+  EXPECT_THROW(profile_by_name("doom"), std::invalid_argument);
+}
+
+TEST(ValueSynth, Deterministic) {
+  ValueMix mix{0.2, 0.2, 0.2, 0.2, 0.1, 0.1};
+  ValueSynthesizer a(mix, 42), b(mix, 42);
+  for (Addr addr = 0; addr < 100 * kBlockBytes; addr += kBlockBytes) {
+    EXPECT_EQ(a.block_for(addr), b.block_for(addr));
+    EXPECT_EQ(a.kind_of(addr), b.kind_of(addr));
+  }
+}
+
+TEST(ValueSynth, SeedChangesContent) {
+  ValueMix mix{0.0, 0.0, 0.0, 0.0, 0.0, 1.0};
+  ValueSynthesizer a(mix, 1), b(mix, 2);
+  int diffs = 0;
+  for (Addr addr = 0; addr < 50 * kBlockBytes; addr += kBlockBytes)
+    diffs += a.block_for(addr) != b.block_for(addr);
+  EXPECT_GT(diffs, 45);
+}
+
+TEST(ValueSynth, MixWeightsRespected) {
+  ValueMix mix{0.5, 0.0, 0.0, 0.0, 0.0, 0.5};
+  ValueSynthesizer synth(mix, 7);
+  int zeros = 0, randoms = 0;
+  const int n = 2000;
+  for (Addr addr = 0; addr < Addr(n) * kBlockBytes; addr += kBlockBytes) {
+    switch (synth.kind_of(addr)) {
+      case PatternKind::Zero: ++zeros; break;
+      case PatternKind::Random: ++randoms; break;
+      default: FAIL() << "pattern outside the mix";
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / n, 0.5, 0.05);
+}
+
+TEST(ValueSynth, ZeroKindProducesZeroBlocks) {
+  ValueMix mix{1.0, 0, 0, 0, 0, 0};
+  ValueSynthesizer synth(mix, 3);
+  EXPECT_EQ(synth.block_for(0), zero_block());
+}
+
+TEST(ValueSynth, StoreValuesPreserveCompressibility) {
+  // Store values drawn for a low-delta block must stay near its base.
+  ValueMix mix{0, 0, 1.0, 0, 0, 0};
+  ValueSynthesizer synth(mix, 5);
+  auto delta = compress::make_algorithm("delta");
+  for (Addr addr = 0; addr < 50 * kBlockBytes; addr += kBlockBytes) {
+    BlockBytes b = synth.block_for(addr);
+    // Overwrite three words with synthesized store values.
+    for (std::uint64_t s = 0; s < 3; ++s) {
+      const std::uint64_t v = synth.store_value(addr, s);
+      std::memcpy(b.data() + s * 8, &v, 8);
+    }
+    EXPECT_LT(delta->compress(b).size(), kBlockBytes / 2)
+        << "stores destroyed the block's delta compressibility";
+  }
+}
+
+TEST(TraceGen, DeterministicPerSeedAndCore) {
+  const auto& p = profile_by_name("dedup");
+  TraceGenerator a(p, 3, 99), b(p, 3, 99), c(p, 4, 99);
+  bool same_core_diverges = false;
+  for (int i = 0; i < 200; ++i) {
+    const TraceOp oa = a.next(), ob = b.next(), oc = c.next();
+    EXPECT_EQ(oa.addr, ob.addr);
+    EXPECT_EQ(oa.is_store, ob.is_store);
+    same_core_diverges = same_core_diverges || oa.addr != oc.addr;
+  }
+  EXPECT_TRUE(same_core_diverges) << "different cores must get different streams";
+}
+
+TEST(TraceGen, WriteRatioApproximatelyRespected) {
+  const auto& p = profile_by_name("x264");  // write_ratio 0.40
+  TraceGenerator gen(p, 0, 1);
+  int stores = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) stores += gen.next().is_store;
+  EXPECT_NEAR(static_cast<double>(stores) / n, p.write_ratio, 0.05);
+}
+
+TEST(TraceGen, HotSetConcentratesAccesses) {
+  const auto& p = profile_by_name("swaptions");
+  TraceGenerator gen(p, 0, 1);
+  std::unordered_map<Addr, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[cache_align(gen.next().addr)];
+  // The top blocks must absorb a large share (hot_fraction ~0.96).
+  std::vector<int> freq;
+  freq.reserve(counts.size());
+  for (const auto& [a, c] : counts) freq.push_back(c);
+  std::sort(freq.rbegin(), freq.rend());
+  const std::size_t hot =
+      static_cast<std::size_t>(p.hot_set_fraction *
+                               static_cast<double>(p.footprint_blocks));
+  long hot_accesses = 0;
+  for (std::size_t i = 0; i < std::min(hot, freq.size()); ++i)
+    hot_accesses += freq[i];
+  EXPECT_GT(static_cast<double>(hot_accesses) / n, 0.7);
+}
+
+TEST(TraceGen, GapsMatchOpRate) {
+  const auto& p = profile_by_name("canneal");
+  TraceGenerator gen(p, 0, 1);
+  double total_cycles = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) total_cycles += 1.0 + gen.next().gap;
+  const double rate = n / total_cycles;
+  EXPECT_NEAR(rate, p.mem_op_rate, p.mem_op_rate * 0.2);
+}
+
+TEST(PageMap, DeterministicAndPageAligned) {
+  const Addr v = (Addr{7} << 30) | 0x1234;
+  EXPECT_EQ(virtual_to_physical(v), virtual_to_physical(v));
+  EXPECT_EQ(virtual_to_physical(v) & 0xFFF, v & 0xFFF)
+      << "page offset preserved";
+  EXPECT_LT(virtual_to_physical(v), Addr{1} << 32) << "4GB physical space";
+}
+
+TEST(PageMap, ScattersAlignedHeaps) {
+  // Consecutive cores' GB-aligned bases must land on unrelated frames.
+  std::set<Addr> frames;
+  for (int core = 0; core < 16; ++core)
+    frames.insert(virtual_to_physical(static_cast<Addr>(core + 1) << 30) >> 12);
+  EXPECT_EQ(frames.size(), 16u);
+}
+
+}  // namespace
+}  // namespace disco::workload
