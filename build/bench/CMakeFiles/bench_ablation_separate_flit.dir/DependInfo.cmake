@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_separate_flit.cpp" "bench/CMakeFiles/bench_ablation_separate_flit.dir/bench_ablation_separate_flit.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_separate_flit.dir/bench_ablation_separate_flit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/disco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmp/CMakeFiles/disco_cmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/disco/CMakeFiles/disco_core_unit.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/disco_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/disco_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/disco_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/disco_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/disco_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/disco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

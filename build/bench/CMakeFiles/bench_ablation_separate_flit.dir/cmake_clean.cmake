@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_separate_flit.dir/bench_ablation_separate_flit.cpp.o"
+  "CMakeFiles/bench_ablation_separate_flit.dir/bench_ablation_separate_flit.cpp.o.d"
+  "bench_ablation_separate_flit"
+  "bench_ablation_separate_flit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_separate_flit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

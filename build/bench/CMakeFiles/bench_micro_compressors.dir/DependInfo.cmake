@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_compressors.cpp" "bench/CMakeFiles/bench_micro_compressors.dir/bench_micro_compressors.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_compressors.dir/bench_micro_compressors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/disco_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/disco_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/disco_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/disco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_compressors.dir/bench_micro_compressors.cpp.o"
+  "CMakeFiles/bench_micro_compressors.dir/bench_micro_compressors.cpp.o.d"
+  "bench_micro_compressors"
+  "bench_micro_compressors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_compressors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noc_loadlatency.dir/bench_noc_loadlatency.cpp.o"
+  "CMakeFiles/bench_noc_loadlatency.dir/bench_noc_loadlatency.cpp.o.d"
+  "bench_noc_loadlatency"
+  "bench_noc_loadlatency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noc_loadlatency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_area.dir/bench_overhead_area.cpp.o"
+  "CMakeFiles/bench_overhead_area.dir/bench_overhead_area.cpp.o.d"
+  "bench_overhead_area"
+  "bench_overhead_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

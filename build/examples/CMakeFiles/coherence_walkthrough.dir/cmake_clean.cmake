@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_walkthrough.dir/coherence_walkthrough.cpp.o"
+  "CMakeFiles/coherence_walkthrough.dir/coherence_walkthrough.cpp.o.d"
+  "coherence_walkthrough"
+  "coherence_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_studio.dir/compression_studio.cpp.o"
+  "CMakeFiles/compression_studio.dir/compression_studio.cpp.o.d"
+  "compression_studio"
+  "compression_studio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_studio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_traffic_explorer.dir/noc_traffic_explorer.cpp.o"
+  "CMakeFiles/noc_traffic_explorer.dir/noc_traffic_explorer.cpp.o.d"
+  "noc_traffic_explorer"
+  "noc_traffic_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_traffic_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/arrays.cpp" "src/cache/CMakeFiles/disco_cache.dir/arrays.cpp.o" "gcc" "src/cache/CMakeFiles/disco_cache.dir/arrays.cpp.o.d"
+  "/root/repo/src/cache/l1_cache.cpp" "src/cache/CMakeFiles/disco_cache.dir/l1_cache.cpp.o" "gcc" "src/cache/CMakeFiles/disco_cache.dir/l1_cache.cpp.o.d"
+  "/root/repo/src/cache/l2_bank.cpp" "src/cache/CMakeFiles/disco_cache.dir/l2_bank.cpp.o" "gcc" "src/cache/CMakeFiles/disco_cache.dir/l2_bank.cpp.o.d"
+  "/root/repo/src/cache/mem_ctrl.cpp" "src/cache/CMakeFiles/disco_cache.dir/mem_ctrl.cpp.o" "gcc" "src/cache/CMakeFiles/disco_cache.dir/mem_ctrl.cpp.o.d"
+  "/root/repo/src/cache/protocol.cpp" "src/cache/CMakeFiles/disco_cache.dir/protocol.cpp.o" "gcc" "src/cache/CMakeFiles/disco_cache.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/disco_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/disco_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/disco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_cache.dir/arrays.cpp.o"
+  "CMakeFiles/disco_cache.dir/arrays.cpp.o.d"
+  "CMakeFiles/disco_cache.dir/l1_cache.cpp.o"
+  "CMakeFiles/disco_cache.dir/l1_cache.cpp.o.d"
+  "CMakeFiles/disco_cache.dir/l2_bank.cpp.o"
+  "CMakeFiles/disco_cache.dir/l2_bank.cpp.o.d"
+  "CMakeFiles/disco_cache.dir/mem_ctrl.cpp.o"
+  "CMakeFiles/disco_cache.dir/mem_ctrl.cpp.o.d"
+  "CMakeFiles/disco_cache.dir/protocol.cpp.o"
+  "CMakeFiles/disco_cache.dir/protocol.cpp.o.d"
+  "libdisco_cache.a"
+  "libdisco_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_cmp.dir/core.cpp.o"
+  "CMakeFiles/disco_cmp.dir/core.cpp.o.d"
+  "CMakeFiles/disco_cmp.dir/system.cpp.o"
+  "CMakeFiles/disco_cmp.dir/system.cpp.o.d"
+  "libdisco_cmp.a"
+  "libdisco_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

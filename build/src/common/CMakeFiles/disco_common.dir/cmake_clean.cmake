@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_common.dir/config.cpp.o"
+  "CMakeFiles/disco_common.dir/config.cpp.o.d"
+  "CMakeFiles/disco_common.dir/stats.cpp.o"
+  "CMakeFiles/disco_common.dir/stats.cpp.o.d"
+  "CMakeFiles/disco_common.dir/table.cpp.o"
+  "CMakeFiles/disco_common.dir/table.cpp.o.d"
+  "CMakeFiles/disco_common.dir/types.cpp.o"
+  "CMakeFiles/disco_common.dir/types.cpp.o.d"
+  "libdisco_common.a"
+  "libdisco_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/algorithm.cpp" "src/compress/CMakeFiles/disco_compress.dir/algorithm.cpp.o" "gcc" "src/compress/CMakeFiles/disco_compress.dir/algorithm.cpp.o.d"
+  "/root/repo/src/compress/bdi.cpp" "src/compress/CMakeFiles/disco_compress.dir/bdi.cpp.o" "gcc" "src/compress/CMakeFiles/disco_compress.dir/bdi.cpp.o.d"
+  "/root/repo/src/compress/cpack.cpp" "src/compress/CMakeFiles/disco_compress.dir/cpack.cpp.o" "gcc" "src/compress/CMakeFiles/disco_compress.dir/cpack.cpp.o.d"
+  "/root/repo/src/compress/delta.cpp" "src/compress/CMakeFiles/disco_compress.dir/delta.cpp.o" "gcc" "src/compress/CMakeFiles/disco_compress.dir/delta.cpp.o.d"
+  "/root/repo/src/compress/fpc.cpp" "src/compress/CMakeFiles/disco_compress.dir/fpc.cpp.o" "gcc" "src/compress/CMakeFiles/disco_compress.dir/fpc.cpp.o.d"
+  "/root/repo/src/compress/fvc.cpp" "src/compress/CMakeFiles/disco_compress.dir/fvc.cpp.o" "gcc" "src/compress/CMakeFiles/disco_compress.dir/fvc.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/compress/CMakeFiles/disco_compress.dir/huffman.cpp.o" "gcc" "src/compress/CMakeFiles/disco_compress.dir/huffman.cpp.o.d"
+  "/root/repo/src/compress/registry.cpp" "src/compress/CMakeFiles/disco_compress.dir/registry.cpp.o" "gcc" "src/compress/CMakeFiles/disco_compress.dir/registry.cpp.o.d"
+  "/root/repo/src/compress/sc2.cpp" "src/compress/CMakeFiles/disco_compress.dir/sc2.cpp.o" "gcc" "src/compress/CMakeFiles/disco_compress.dir/sc2.cpp.o.d"
+  "/root/repo/src/compress/zerobit.cpp" "src/compress/CMakeFiles/disco_compress.dir/zerobit.cpp.o" "gcc" "src/compress/CMakeFiles/disco_compress.dir/zerobit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/disco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_compress.dir/algorithm.cpp.o"
+  "CMakeFiles/disco_compress.dir/algorithm.cpp.o.d"
+  "CMakeFiles/disco_compress.dir/bdi.cpp.o"
+  "CMakeFiles/disco_compress.dir/bdi.cpp.o.d"
+  "CMakeFiles/disco_compress.dir/cpack.cpp.o"
+  "CMakeFiles/disco_compress.dir/cpack.cpp.o.d"
+  "CMakeFiles/disco_compress.dir/delta.cpp.o"
+  "CMakeFiles/disco_compress.dir/delta.cpp.o.d"
+  "CMakeFiles/disco_compress.dir/fpc.cpp.o"
+  "CMakeFiles/disco_compress.dir/fpc.cpp.o.d"
+  "CMakeFiles/disco_compress.dir/fvc.cpp.o"
+  "CMakeFiles/disco_compress.dir/fvc.cpp.o.d"
+  "CMakeFiles/disco_compress.dir/huffman.cpp.o"
+  "CMakeFiles/disco_compress.dir/huffman.cpp.o.d"
+  "CMakeFiles/disco_compress.dir/registry.cpp.o"
+  "CMakeFiles/disco_compress.dir/registry.cpp.o.d"
+  "CMakeFiles/disco_compress.dir/sc2.cpp.o"
+  "CMakeFiles/disco_compress.dir/sc2.cpp.o.d"
+  "CMakeFiles/disco_compress.dir/zerobit.cpp.o"
+  "CMakeFiles/disco_compress.dir/zerobit.cpp.o.d"
+  "libdisco_compress.a"
+  "libdisco_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

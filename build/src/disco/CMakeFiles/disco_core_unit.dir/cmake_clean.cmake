@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_core_unit.dir/unit.cpp.o"
+  "CMakeFiles/disco_core_unit.dir/unit.cpp.o.d"
+  "libdisco_core_unit.a"
+  "libdisco_core_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_core_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

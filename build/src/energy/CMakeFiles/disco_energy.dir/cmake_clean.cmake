@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_energy.dir/energy_model.cpp.o"
+  "CMakeFiles/disco_energy.dir/energy_model.cpp.o.d"
+  "libdisco_energy.a"
+  "libdisco_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

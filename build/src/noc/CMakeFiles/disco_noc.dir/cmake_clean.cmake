@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_noc.dir/network.cpp.o"
+  "CMakeFiles/disco_noc.dir/network.cpp.o.d"
+  "CMakeFiles/disco_noc.dir/ni.cpp.o"
+  "CMakeFiles/disco_noc.dir/ni.cpp.o.d"
+  "CMakeFiles/disco_noc.dir/router.cpp.o"
+  "CMakeFiles/disco_noc.dir/router.cpp.o.d"
+  "libdisco_noc.a"
+  "libdisco_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

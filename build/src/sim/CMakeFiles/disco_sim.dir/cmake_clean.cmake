@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_sim.dir/experiment.cpp.o"
+  "CMakeFiles/disco_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/disco_sim.dir/json_export.cpp.o"
+  "CMakeFiles/disco_sim.dir/json_export.cpp.o.d"
+  "CMakeFiles/disco_sim.dir/report.cpp.o"
+  "CMakeFiles/disco_sim.dir/report.cpp.o.d"
+  "libdisco_sim.a"
+  "libdisco_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

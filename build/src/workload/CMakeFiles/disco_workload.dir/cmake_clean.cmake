@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disco_workload.dir/profile.cpp.o"
+  "CMakeFiles/disco_workload.dir/profile.cpp.o.d"
+  "CMakeFiles/disco_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/disco_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/disco_workload.dir/trace_gen.cpp.o"
+  "CMakeFiles/disco_workload.dir/trace_gen.cpp.o.d"
+  "CMakeFiles/disco_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/disco_workload.dir/trace_io.cpp.o.d"
+  "CMakeFiles/disco_workload.dir/value_synth.cpp.o"
+  "CMakeFiles/disco_workload.dir/value_synth.cpp.o.d"
+  "libdisco_workload.a"
+  "libdisco_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disco_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache_arrays.cpp" "tests/CMakeFiles/disco_tests.dir/test_cache_arrays.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_cache_arrays.cpp.o.d"
+  "/root/repo/tests/test_coherence.cpp" "tests/CMakeFiles/disco_tests.dir/test_coherence.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_coherence.cpp.o.d"
+  "/root/repo/tests/test_compress_ratios.cpp" "tests/CMakeFiles/disco_tests.dir/test_compress_ratios.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_compress_ratios.cpp.o.d"
+  "/root/repo/tests/test_compress_roundtrip.cpp" "tests/CMakeFiles/disco_tests.dir/test_compress_roundtrip.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_compress_roundtrip.cpp.o.d"
+  "/root/repo/tests/test_compressed_cache.cpp" "tests/CMakeFiles/disco_tests.dir/test_compressed_cache.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_compressed_cache.cpp.o.d"
+  "/root/repo/tests/test_core_model.cpp" "tests/CMakeFiles/disco_tests.dir/test_core_model.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_core_model.cpp.o.d"
+  "/root/repo/tests/test_disco_unit.cpp" "tests/CMakeFiles/disco_tests.dir/test_disco_unit.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_disco_unit.cpp.o.d"
+  "/root/repo/tests/test_energy_area.cpp" "tests/CMakeFiles/disco_tests.dir/test_energy_area.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_energy_area.cpp.o.d"
+  "/root/repo/tests/test_huffman.cpp" "tests/CMakeFiles/disco_tests.dir/test_huffman.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_huffman.cpp.o.d"
+  "/root/repo/tests/test_infra.cpp" "tests/CMakeFiles/disco_tests.dir/test_infra.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_infra.cpp.o.d"
+  "/root/repo/tests/test_mem_and_l1.cpp" "tests/CMakeFiles/disco_tests.dir/test_mem_and_l1.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_mem_and_l1.cpp.o.d"
+  "/root/repo/tests/test_ni_policies.cpp" "tests/CMakeFiles/disco_tests.dir/test_ni_policies.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_ni_policies.cpp.o.d"
+  "/root/repo/tests/test_noc_basic.cpp" "tests/CMakeFiles/disco_tests.dir/test_noc_basic.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_noc_basic.cpp.o.d"
+  "/root/repo/tests/test_scale_stress.cpp" "tests/CMakeFiles/disco_tests.dir/test_scale_stress.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_scale_stress.cpp.o.d"
+  "/root/repo/tests/test_segmented_fuzz.cpp" "tests/CMakeFiles/disco_tests.dir/test_segmented_fuzz.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_segmented_fuzz.cpp.o.d"
+  "/root/repo/tests/test_synthetic_traffic.cpp" "tests/CMakeFiles/disco_tests.dir/test_synthetic_traffic.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_synthetic_traffic.cpp.o.d"
+  "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/disco_tests.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_system.cpp.o.d"
+  "/root/repo/tests/test_system_matrix.cpp" "tests/CMakeFiles/disco_tests.dir/test_system_matrix.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_system_matrix.cpp.o.d"
+  "/root/repo/tests/test_trace_io_json.cpp" "tests/CMakeFiles/disco_tests.dir/test_trace_io_json.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_trace_io_json.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/disco_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/disco_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/disco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmp/CMakeFiles/disco_cmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/disco/CMakeFiles/disco_core_unit.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/disco_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/disco_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/disco_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/disco_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/disco_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/disco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
