@@ -15,7 +15,8 @@ struct Point {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto sweep_opt = bench::sweep_options(argc, argv, "ablation_confidence");
   SystemConfig base;
   base.algorithm = "delta";
   base.scheme = Scheme::DISCO;
@@ -35,17 +36,31 @@ int main() {
       {8, 8, 2},        {1e18, 1e18, 1},  // engines disabled
   };
 
+  // Every point must replay identical traffic (the sweep compares NUCA
+  // latency across settings), so all cells share seed_group 0; each point
+  // is still its own shard group.
+  std::vector<sim::SweepCell> cells;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    sim::SweepCell c{base, profile, opt};
+    c.cfg.disco.cc_threshold = points[p].ccth;
+    c.cfg.disco.cd_threshold = points[p].cdth;
+    c.cfg.disco.beta = points[p].beta;
+    c.group = p;
+    c.seed_group = 0;
+    cells.push_back(std::move(c));
+  }
+  const auto sweep = sim::run_sweep(cells, sweep_opt);
+
   TablePrinter t({"CCth", "CDth", "beta", "NUCA latency", "router comp",
-                  "router decomp", "hidden", "aborts", "abort rate"});
-  for (const Point& p : points) {
-    SystemConfig cfg = base;
-    cfg.disco.cc_threshold = p.ccth;
-    cfg.disco.cd_threshold = p.cdth;
-    cfg.disco.beta = p.beta;
-    const auto r = sim::run_cell(cfg, profile, opt);
-    const double ops = static_cast<double>(r.inflight_compressions +
-                                           r.inflight_decompressions +
-                                           r.compression_aborts);
+                  "router decomp", "hidden", "aborts (c+d)", "abort rate"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    const sim::CellResult* rp = sweep.ok(i);
+    if (!rp) continue;
+    const sim::CellResult& r = *rp;
+    const std::uint64_t aborts = r.compression_aborts + r.decompression_aborts;
+    const double ops = static_cast<double>(
+        r.inflight_compressions + r.inflight_decompressions + aborts);
     t.add_row({p.ccth < -1 ? "-inf" : (p.ccth > 1e9 ? "+inf" : TablePrinter::fmt(p.ccth, 1)),
                p.cdth < -1 ? "-inf" : (p.cdth > 1e9 ? "+inf" : TablePrinter::fmt(p.cdth, 1)),
                TablePrinter::fmt(p.beta, 1),
@@ -53,13 +68,16 @@ int main() {
                std::to_string(r.inflight_compressions),
                std::to_string(r.inflight_decompressions),
                std::to_string(r.hidden_decomp_ops),
-               std::to_string(r.compression_aborts),
-               ops > 0 ? TablePrinter::pct(r.compression_aborts / ops) : "-"});
+               std::to_string(r.compression_aborts) + "+" +
+                   std::to_string(r.decompression_aborts),
+               ops > 0 ? TablePrinter::pct(static_cast<double>(aborts) / ops)
+                       : "-"});
   }
   t.print(std::cout);
   std::printf("\nreading: low thresholds compress eagerly but waste engine "
               "energy on aborted hasty decisions; high thresholds forgo "
               "hiding entirely (the paper's 'trained empirically' point sits "
               "between).\n");
-  return 0;
+  bench::print_sweep_summary(sweep);
+  return sweep.all_ok() ? 0 : 1;
 }

@@ -7,7 +7,9 @@
 
 using namespace disco;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto sweep_opt =
+      bench::sweep_options(argc, argv, "ablation_separate_flit");
   SystemConfig base;
   base.algorithm = "delta";
   base.scheme = Scheme::DISCO;
@@ -16,32 +18,44 @@ int main() {
   auto opt = bench::standard_options();
   opt.measure_cycles = 60000;
 
+  const std::vector<std::string> names = {"canneal", "dedup", "streamcluster",
+                                          "x264"};
+  std::vector<sim::SweepCell> cells;
+  for (std::size_t w = 0; w < names.size(); ++w) {
+    // In-router compression needs contention: stress to 3x nominal rate.
+    workload::BenchmarkProfile profile = workload::profile_by_name(names[w]);
+    profile.mem_op_rate *= 3.0;
+    for (const bool separate : {true, false}) {
+      sim::SweepCell c{base, profile, opt};
+      c.cfg.disco.separate_flit_compression = separate;
+      c.group = w;
+      cells.push_back(std::move(c));
+    }
+  }
+  const auto sweep = sim::run_sweep(cells, sweep_opt);
+
   TablePrinter t({"Workload", "NUCA lat (separate)", "NUCA lat (whole-pkt)",
                   "router comp sep", "router comp whole", "aborts sep",
                   "aborts whole"});
-  for (const auto& name : {"canneal", "dedup", "streamcluster", "x264"}) {
-    // In-router compression needs contention: stress to 3x nominal rate.
-    workload::BenchmarkProfile profile = workload::profile_by_name(name);
-    profile.mem_op_rate *= 3.0;
-    SystemConfig sep = base;
-    sep.disco.separate_flit_compression = true;
-    SystemConfig whole = base;
-    whole.disco.separate_flit_compression = false;
-    const auto r_sep = sim::run_cell(sep, profile, opt);
-    const auto r_whole = sim::run_cell(whole, profile, opt);
-    t.add_row({name, TablePrinter::fmt(r_sep.avg_nuca_latency, 2),
+  for (std::size_t w = 0; w < names.size(); ++w) {
+    const auto rs = bench::grid_row(sweep, w * 2, 2);
+    if (rs.empty()) continue;
+    const sim::CellResult& r_sep = *rs[0];
+    const sim::CellResult& r_whole = *rs[1];
+    t.add_row({names[w], TablePrinter::fmt(r_sep.avg_nuca_latency, 2),
                TablePrinter::fmt(r_whole.avg_nuca_latency, 2),
                std::to_string(r_sep.inflight_compressions),
                std::to_string(r_whole.inflight_compressions),
-               std::to_string(r_sep.compression_aborts),
-               std::to_string(r_whole.compression_aborts)});
-    std::printf("  %-14s done\n", name);
+               std::to_string(r_sep.compression_aborts +
+                              r_sep.decompression_aborts),
+               std::to_string(r_whole.compression_aborts +
+                              r_whole.decompression_aborts)});
   }
-  std::printf("\n");
   t.print(std::cout);
   std::printf("\nreading: whole-packet compression requires the full packet "
               "resident in one VC (rare for streaming 8-flit packets); the "
               "separate mode starts earlier and completes more operations "
               "(paper: 'which is adopted in DISCO').\n");
-  return 0;
+  bench::print_sweep_summary(sweep);
+  return sweep.all_ok() ? 0 : 1;
 }

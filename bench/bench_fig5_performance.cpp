@@ -7,7 +7,8 @@
 
 using namespace disco;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto sweep_opt = bench::sweep_options(argc, argv, "fig5");
   SystemConfig cfg;
   cfg.algorithm = "delta";
   bench::print_banner("Figure 5: performance with delta-based compression", cfg);
@@ -16,38 +17,43 @@ int main() {
   const std::vector<Scheme> schemes = {Scheme::Ideal, Scheme::CC, Scheme::CNC,
                                        Scheme::DISCO};
 
+  const auto& profiles = bench::workloads();
+  const auto sweep =
+      sim::run_sweep(bench::scheme_grid(cfg, profiles, schemes, opt), sweep_opt);
+
   TablePrinter t({"Workload", "Ideal (cycles)", "CC", "CNC", "DISCO",
                   "CC/Ideal", "CNC/Ideal", "DISCO/Ideal"});
   std::vector<double> cc_norm, cnc_norm, disco_norm;
-
-  for (const auto& profile : bench::workloads()) {
-    const auto rs = sim::run_schemes(cfg, profile, schemes, opt);
-    const double ideal = rs[0].avg_nuca_latency;
-    const double cc = rs[1].avg_nuca_latency / ideal;
-    const double cnc = rs[2].avg_nuca_latency / ideal;
-    const double dsc = rs[3].avg_nuca_latency / ideal;
+  for (std::size_t w = 0; w < profiles.size(); ++w) {
+    const auto rs = bench::grid_row(sweep, w * schemes.size(), schemes.size());
+    if (rs.empty()) continue;
+    const double ideal = rs[0]->avg_nuca_latency;
+    const double cc = rs[1]->avg_nuca_latency / ideal;
+    const double cnc = rs[2]->avg_nuca_latency / ideal;
+    const double dsc = rs[3]->avg_nuca_latency / ideal;
     cc_norm.push_back(cc);
     cnc_norm.push_back(cnc);
     disco_norm.push_back(dsc);
-    t.add_row({profile.name, TablePrinter::fmt(ideal, 1),
-               TablePrinter::fmt(rs[1].avg_nuca_latency, 1),
-               TablePrinter::fmt(rs[2].avg_nuca_latency, 1),
-               TablePrinter::fmt(rs[3].avg_nuca_latency, 1),
+    t.add_row({profiles[w].name, TablePrinter::fmt(ideal, 1),
+               TablePrinter::fmt(rs[1]->avg_nuca_latency, 1),
+               TablePrinter::fmt(rs[2]->avg_nuca_latency, 1),
+               TablePrinter::fmt(rs[3]->avg_nuca_latency, 1),
                TablePrinter::fmt(cc, 3), TablePrinter::fmt(cnc, 3),
                TablePrinter::fmt(dsc, 3)});
-    std::printf("  %-14s done\n", profile.name.c_str());
   }
-  std::printf("\n");
   t.print(std::cout);
 
-  const double cc_g = sim::geomean(cc_norm);
-  const double cnc_g = sim::geomean(cnc_norm);
-  const double disco_g = sim::geomean(disco_norm);
-  std::printf("\ngeomean normalized latency: CC %.3f  CNC %.3f  DISCO %.3f\n",
-              cc_g, cnc_g, disco_g);
-  std::printf("DISCO improves on CC by %.1f%% (paper: 12%%), on CNC by %.1f%% "
-              "(paper: 10.1%%)\n",
-              (cc_g - disco_g) / cc_g * 100.0,
-              (cnc_g - disco_g) / cnc_g * 100.0);
-  return 0;
+  if (!disco_norm.empty()) {
+    const double cc_g = sim::geomean(cc_norm);
+    const double cnc_g = sim::geomean(cnc_norm);
+    const double disco_g = sim::geomean(disco_norm);
+    std::printf("\ngeomean normalized latency: CC %.3f  CNC %.3f  DISCO %.3f\n",
+                cc_g, cnc_g, disco_g);
+    std::printf("DISCO improves on CC by %.1f%% (paper: 12%%), on CNC by %.1f%% "
+                "(paper: 10.1%%)\n",
+                (cc_g - disco_g) / cc_g * 100.0,
+                (cnc_g - disco_g) / cnc_g * 100.0);
+  }
+  bench::print_sweep_summary(sweep);
+  return sweep.all_ok() ? 0 : 1;
 }

@@ -6,7 +6,8 @@
 
 using namespace disco;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto sweep_opt = bench::sweep_options(argc, argv, "fig7");
   SystemConfig cfg;
   cfg.algorithm = "delta";
   bench::print_banner("Figure 7: memory-subsystem energy, delta compression", cfg);
@@ -14,35 +15,40 @@ int main() {
   const auto opt = bench::standard_options();
   const std::vector<Scheme> schemes = {Scheme::Baseline, Scheme::CC,
                                        Scheme::CNC, Scheme::DISCO};
+  const auto& profiles = bench::workloads();
+  const auto sweep =
+      sim::run_sweep(bench::scheme_grid(cfg, profiles, schemes, opt), sweep_opt);
 
   TablePrinter t({"Workload", "Baseline (uJ)", "CC/Base", "CNC/Base",
                   "DISCO/Base", "DISCO dyn NoC/Base"});
   std::vector<double> cc_n, cnc_n, disco_n;
-  for (const auto& profile : bench::workloads()) {
-    const auto rs = sim::run_schemes(cfg, profile, schemes, opt);
+  for (std::size_t w = 0; w < profiles.size(); ++w) {
+    const auto rs = bench::grid_row(sweep, w * schemes.size(), schemes.size());
+    if (rs.empty()) continue;
     // Energy for the same amount of work: normalize per core memory op.
     auto per_op = [](const sim::CellResult& r) {
       return r.energy.subsystem_nj() / static_cast<double>(r.core_ops);
     };
-    const double base = per_op(rs[0]);
-    cc_n.push_back(per_op(rs[1]) / base);
-    cnc_n.push_back(per_op(rs[2]) / base);
-    disco_n.push_back(per_op(rs[3]) / base);
+    const double base = per_op(*rs[0]);
+    cc_n.push_back(per_op(*rs[1]) / base);
+    cnc_n.push_back(per_op(*rs[2]) / base);
+    disco_n.push_back(per_op(*rs[3]) / base);
     const double noc_dyn_ratio =
-        (rs[3].energy.noc_dynamic_nj / static_cast<double>(rs[3].core_ops)) /
-        (rs[0].energy.noc_dynamic_nj / static_cast<double>(rs[0].core_ops));
-    t.add_row({profile.name,
-               TablePrinter::fmt(rs[0].energy.subsystem_nj() / 1000.0, 1),
+        (rs[3]->energy.noc_dynamic_nj / static_cast<double>(rs[3]->core_ops)) /
+        (rs[0]->energy.noc_dynamic_nj / static_cast<double>(rs[0]->core_ops));
+    t.add_row({profiles[w].name,
+               TablePrinter::fmt(rs[0]->energy.subsystem_nj() / 1000.0, 1),
                TablePrinter::fmt(cc_n.back(), 3),
                TablePrinter::fmt(cnc_n.back(), 3),
                TablePrinter::fmt(disco_n.back(), 3),
                TablePrinter::fmt(noc_dyn_ratio, 3)});
-    std::printf("  %-14s done\n", profile.name.c_str());
   }
-  std::printf("\n");
   t.print(std::cout);
-  std::printf("\ngeomean energy vs baseline: CC %.3f  CNC %.3f  DISCO %.3f "
-              "(paper: DISCO 0.733, ~8-9%% below CC/CNC)\n",
-              sim::geomean(cc_n), sim::geomean(cnc_n), sim::geomean(disco_n));
-  return 0;
+  if (!disco_n.empty()) {
+    std::printf("\ngeomean energy vs baseline: CC %.3f  CNC %.3f  DISCO %.3f "
+                "(paper: DISCO 0.733, ~8-9%% below CC/CNC)\n",
+                sim::geomean(cc_n), sim::geomean(cnc_n), sim::geomean(disco_n));
+  }
+  bench::print_sweep_summary(sweep);
+  return sweep.all_ok() ? 0 : 1;
 }

@@ -7,7 +7,8 @@
 
 using namespace disco;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto sweep_opt = bench::sweep_options(argc, argv, "fig8");
   SystemConfig base;
   base.algorithm = "delta";
   bench::print_banner("Figure 8: scalability with CMP size", base);
@@ -18,26 +19,43 @@ int main() {
   const std::vector<std::string> names = {"canneal", "dedup", "streamcluster",
                                           "x264"};
   const std::vector<std::uint32_t> sides = {2, 4, 8};
+  const std::vector<Scheme> schemes = {Scheme::Ideal, Scheme::CC, Scheme::DISCO};
 
-  TablePrinter t({"Mesh", "Banks", "CC/Ideal", "DISCO/Ideal",
-                  "DISCO gain over CC"});
-  for (const std::uint32_t side : sides) {
+  // Grid: (mesh size x workload) rows of (Ideal, CC, DISCO). One group per
+  // (mesh, workload) row so its three schemes share traffic and a shard.
+  std::vector<sim::SweepCell> cells;
+  std::vector<workload::BenchmarkProfile> profiles;
+  for (const auto& name : names)
+    profiles.push_back(workload::profile_by_name(name));
+  for (std::size_t m = 0; m < sides.size(); ++m) {
+    const std::uint32_t side = sides[m];
     SystemConfig cfg = base;
     cfg.noc.mesh_cols = side;
     cfg.noc.mesh_rows = side;
     // The NUCA scales with the tile count (256KB per bank, as in 4MB/16).
     cfg.l2.total_size_bytes = 256ULL * 1024 * side * side;
     cfg.mem.num_controllers = side >= 8 ? 4 : 1;
-
-    std::vector<double> cc_n, disco_n;
-    for (const auto& name : names) {
-      const auto& profile = workload::profile_by_name(name);
-      const auto rs = sim::run_schemes(
-          cfg, profile, {Scheme::Ideal, Scheme::CC, Scheme::DISCO}, opt);
-      cc_n.push_back(rs[1].avg_nuca_latency / rs[0].avg_nuca_latency);
-      disco_n.push_back(rs[2].avg_nuca_latency / rs[0].avg_nuca_latency);
-      std::printf("  %ux%u %-14s done\n", side, side, name.c_str());
+    auto block = bench::scheme_grid(cfg, profiles, schemes, opt);
+    for (auto& c : block) {
+      c.group += m * profiles.size();
+      cells.push_back(std::move(c));
     }
+  }
+  const auto sweep = sim::run_sweep(cells, sweep_opt);
+
+  TablePrinter t({"Mesh", "Banks", "CC/Ideal", "DISCO/Ideal",
+                  "DISCO gain over CC"});
+  for (std::size_t m = 0; m < sides.size(); ++m) {
+    const std::uint32_t side = sides[m];
+    std::vector<double> cc_n, disco_n;
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+      const std::size_t first = (m * profiles.size() + w) * schemes.size();
+      const auto rs = bench::grid_row(sweep, first, schemes.size());
+      if (rs.empty()) continue;
+      cc_n.push_back(rs[1]->avg_nuca_latency / rs[0]->avg_nuca_latency);
+      disco_n.push_back(rs[2]->avg_nuca_latency / rs[0]->avg_nuca_latency);
+    }
+    if (disco_n.empty()) continue;
     const double cc_g = sim::geomean(cc_n);
     const double disco_g = sim::geomean(disco_n);
     t.add_row({std::to_string(side) + "x" + std::to_string(side),
@@ -45,9 +63,9 @@ int main() {
                TablePrinter::fmt(disco_g, 3),
                TablePrinter::pct((cc_g - disco_g) / cc_g)});
   }
-  std::printf("\n");
   t.print(std::cout);
   std::printf("\nexpected shape: the DISCO-over-CC gain grows with mesh size "
               "(paper: ~10%% at 16 banks -> ~22%% at 64 banks)\n");
-  return 0;
+  bench::print_sweep_summary(sweep);
+  return sweep.all_ok() ? 0 : 1;
 }

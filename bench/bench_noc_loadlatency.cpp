@@ -82,22 +82,42 @@ double run_point(FlowControl fc, bool with_disco, double rate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto sweep_opt = bench::sweep_options(argc, argv, "noc_loadlatency");
   SystemConfig cfg;
   bench::print_banner("NoC load-latency curves (network-only, uniform random)",
                       cfg);
 
+  // Every (rate x variant) point is an independent network simulation; run
+  // the whole grid on the pool via the generic parallel map.
+  const std::vector<double> rates = {0.005, 0.01, 0.02, 0.04, 0.06, 0.08};
+  struct Variant {
+    FlowControl fc;
+    bool disco;
+  };
+  const std::vector<Variant> variants = {
+      {FlowControl::Wormhole, false},
+      {FlowControl::Wormhole, true},
+      {FlowControl::VirtualCutThrough, false},
+      {FlowControl::VirtualCutThrough, true},
+  };
+  std::vector<double> lat(rates.size() * variants.size(), -1.0);
+  sim::run_indexed(
+      lat.size(),
+      [&](std::size_t i) {
+        const Variant& v = variants[i % variants.size()];
+        lat[i] = run_point(v.fc, v.disco, rates[i / variants.size()]);
+      },
+      sweep_opt);
+
   TablePrinter t({"inject rate", "wormhole", "wormhole+DISCO", "VCT",
                   "VCT+DISCO"});
-  for (const double rate : {0.005, 0.01, 0.02, 0.04, 0.06, 0.08}) {
-    t.add_row({TablePrinter::fmt(rate, 3),
-               TablePrinter::fmt(run_point(FlowControl::Wormhole, false, rate), 1),
-               TablePrinter::fmt(run_point(FlowControl::Wormhole, true, rate), 1),
-               TablePrinter::fmt(run_point(FlowControl::VirtualCutThrough, false, rate), 1),
-               TablePrinter::fmt(run_point(FlowControl::VirtualCutThrough, true, rate), 1)});
-    std::printf("  rate %.3f done\n", rate);
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    const double* row = &lat[r * variants.size()];
+    t.add_row({TablePrinter::fmt(rates[r], 3), TablePrinter::fmt(row[0], 1),
+               TablePrinter::fmt(row[1], 1), TablePrinter::fmt(row[2], 1),
+               TablePrinter::fmt(row[3], 1)});
   }
-  std::printf("\n");
   t.print(std::cout);
   std::printf("\nreading: DISCO's compression postpones saturation (its curve "
               "bends later); VCT trades a slightly earlier knee for whole-"

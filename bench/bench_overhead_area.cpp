@@ -2,6 +2,9 @@
 // Paper claims: the delta-based DISCO de/compressor + arbitrator adds 17.2%
 // of the router area, which is <1% of the 4MB NUCA array, and is about half
 // of CNC's overhead (bank + NI units).
+//
+// Pure analytical tables (no simulation cells), but it accepts the standard
+// sweep flags so every bench driver shares one CLI.
 #include "bench_util.h"
 #include "compress/registry.h"
 #include "energy/energy_model.h"
@@ -9,7 +12,8 @@
 
 using namespace disco;
 
-int main() {
+int main(int argc, char** argv) {
+  (void)bench::sweep_options(argc, argv, "overhead_area");
   SystemConfig cfg;
   bench::print_banner("Section 4.3: area overhead", cfg);
 

@@ -11,43 +11,65 @@
 
 using namespace disco;
 
-int main() {
+int main(int argc, char** argv) {
+  auto sweep_opt = bench::sweep_options(argc, argv, "table1");
   SystemConfig cfg;
   bench::print_banner("Table 1: compression scheme parameters", cfg);
 
-  // Corpus: blocks drawn from every workload's value population.
-  std::vector<BlockBytes> corpus;
-  for (const auto& profile : bench::workloads()) {
-    workload::ValueSynthesizer synth(profile.values, 7);
-    for (Addr a = 0; a < 400 * kBlockBytes; a += kBlockBytes)
-      corpus.push_back(synth.block_for(a));
-  }
+  // Corpus: blocks drawn from every workload's value population, the
+  // per-workload slices synthesized in parallel (pure function of address
+  // and seed, so the corpus is identical at any thread count).
+  const auto& profiles = bench::workloads();
+  constexpr std::size_t kBlocksPerWorkload = 400;
+  std::vector<BlockBytes> corpus(profiles.size() * kBlocksPerWorkload);
+  sim::run_indexed(
+      profiles.size(),
+      [&](std::size_t w) {
+        workload::ValueSynthesizer synth(profiles[w].values, 7);
+        for (std::size_t b = 0; b < kBlocksPerWorkload; ++b)
+          corpus[w * kBlocksPerWorkload + b] =
+              synth.block_for(static_cast<Addr>(b) * kBlockBytes);
+      },
+      sweep_opt);
+
+  // One task per algorithm: compress the whole corpus, record the row.
+  const auto names = compress::algorithm_names();
+  struct Row {
+    std::string method, comp, decomp, overhead, ratio, compressible;
+  };
+  std::vector<Row> rows(names.size());
+  sim::run_indexed(
+      names.size(),
+      [&](std::size_t i) {
+        auto algo = compress::make_algorithm(names[i]);
+        if (auto* sc2 = dynamic_cast<compress::Sc2Algorithm*>(algo.get())) {
+          sc2->retrain(
+              std::span<const BlockBytes>(corpus.data(), corpus.size() / 2));
+        }
+        double bytes = 0;
+        std::size_t compressible = 0;
+        for (const BlockBytes& b : corpus) {
+          const auto enc = algo->compress(b);
+          bytes += static_cast<double>(enc.size());
+          compressible += enc.size() < kBlockBytes ? 1 : 0;
+        }
+        const double ratio = static_cast<double>(kBlockBytes) *
+                             static_cast<double>(corpus.size()) / bytes;
+        const auto lat = algo->latency();
+        rows[i] = {std::string(algo->name()),
+                   std::to_string(lat.comp_cycles) + " cycles",
+                   std::to_string(lat.decomp_cycles) + " cycles",
+                   TablePrinter::pct(algo->hardware_overhead()),
+                   TablePrinter::fmt(ratio, 2),
+                   TablePrinter::pct(static_cast<double>(compressible) /
+                                     static_cast<double>(corpus.size()))};
+      },
+      sweep_opt);
 
   TablePrinter t({"Method", "Comp. Lat.", "Decomp. Lat.", "HW Overhead",
                   "Comp. Ratio (measured)", "Compressible blocks"});
-  for (const auto& name : compress::algorithm_names()) {
-    auto algo = compress::make_algorithm(name);
-    if (auto* sc2 = dynamic_cast<compress::Sc2Algorithm*>(algo.get())) {
-      sc2->retrain(std::span<const BlockBytes>(corpus.data(), corpus.size() / 2));
-    }
-    double bytes = 0;
-    std::size_t compressible = 0;
-    for (const BlockBytes& b : corpus) {
-      const auto enc = algo->compress(b);
-      bytes += static_cast<double>(enc.size());
-      compressible += enc.size() < kBlockBytes ? 1 : 0;
-    }
-    const double ratio = static_cast<double>(kBlockBytes) *
-                         static_cast<double>(corpus.size()) / bytes;
-    const auto lat = algo->latency();
-    t.add_row({std::string(algo->name()),
-               std::to_string(lat.comp_cycles) + " cycles",
-               std::to_string(lat.decomp_cycles) + " cycles",
-               TablePrinter::pct(algo->hardware_overhead()),
-               TablePrinter::fmt(ratio, 2),
-               TablePrinter::pct(static_cast<double>(compressible) /
-                                 static_cast<double>(corpus.size()))});
-  }
+  for (const Row& r : rows)
+    t.add_row({r.method, r.comp, r.decomp, r.overhead, r.ratio, r.compressible});
   t.print(std::cout);
   std::printf("\ncorpus: %zu blocks across 13 PARSEC-like value mixes\n",
               corpus.size());

@@ -1,6 +1,8 @@
 // Shared plumbing for the figure/table benches: standard run options, the
-// Table-2 banner, and normalization helpers. Every bench prints through
-// TablePrinter so outputs are uniform and diffable against EXPERIMENTS.md.
+// Table-2 banner, sweep-cell grid builders and normalization helpers. Every
+// bench prints through TablePrinter so outputs are uniform and diffable
+// against EXPERIMENTS.md, and every bench runs its cells through the
+// parallel sweep engine (--threads N, --shard i/k; see sim/sweep.h).
 #pragma once
 
 #include <cstdio>
@@ -10,6 +12,7 @@
 
 #include "common/table.h"
 #include "sim/experiment.h"
+#include "sim/sweep.h"
 #include "workload/profile.h"
 
 namespace disco::bench {
@@ -19,6 +22,21 @@ inline sim::RunOptions standard_options() {
   opt.warmup_ops_per_core = 24000;
   opt.warmup_cycles = 15000;
   opt.measure_cycles = 80000;
+  return opt;
+}
+
+/// Parse the standard sweep flags; benches take no other arguments, so any
+/// positional argument is an error.
+inline sim::SweepOptions sweep_options(int argc, char** argv,
+                                       const char* label) {
+  std::vector<std::string> positional;
+  sim::SweepOptions opt = sim::parse_sweep_flags(argc, argv, positional);
+  if (!positional.empty()) {
+    std::fprintf(stderr, "%s: unexpected argument '%s' (try --help)\n",
+                 argv[0], positional.front().c_str());
+    std::exit(2);
+  }
+  opt.progress_label = label;
   return opt;
 }
 
@@ -34,6 +52,49 @@ inline void print_banner(const char* title, const SystemConfig& cfg) {
 /// Shorthand for the 13 PARSEC-like workloads.
 inline const std::vector<workload::BenchmarkProfile>& workloads() {
   return workload::parsec_profiles();
+}
+
+/// (workload x scheme) cell grid in row-major order. Each workload is one
+/// sweep group, so its schemes share a seed (identical traffic — required
+/// for per-row normalization) and are never split across shards.
+inline std::vector<sim::SweepCell> scheme_grid(
+    const SystemConfig& base,
+    const std::vector<workload::BenchmarkProfile>& profiles,
+    const std::vector<Scheme>& schemes, const sim::RunOptions& opt) {
+  std::vector<sim::SweepCell> cells;
+  cells.reserve(profiles.size() * schemes.size());
+  for (std::size_t w = 0; w < profiles.size(); ++w) {
+    for (const Scheme s : schemes) {
+      sim::SweepCell c{base, profiles[w], opt};
+      c.cfg.scheme = s;
+      c.group = w;
+      cells.push_back(std::move(c));
+    }
+  }
+  return cells;
+}
+
+/// The `count` results of a grid row starting at cell `first`, or an empty
+/// vector when any of them failed or fell outside this shard (the bench
+/// then skips that row instead of printing a half-normalized one).
+inline std::vector<const sim::CellResult*> grid_row(const sim::SweepResult& r,
+                                                    std::size_t first,
+                                                    std::size_t count) {
+  std::vector<const sim::CellResult*> row;
+  row.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const sim::CellResult* cell = r.ok(first + i);
+    if (!cell) return {};
+    row.push_back(cell);
+  }
+  return row;
+}
+
+/// Footer every bench prints: failed/skipped accounting for sharded runs.
+inline void print_sweep_summary(const sim::SweepResult& r) {
+  std::printf("\nsweep: %zu cells ok, %zu failed, %zu skipped (other shards), "
+              "%.1fs wall\n",
+              r.completed, r.failed, r.skipped, r.wall_ms / 1000.0);
 }
 
 }  // namespace disco::bench

@@ -1,46 +1,75 @@
-// Batch runner: sweep (workloads x schemes) cells and emit machine-readable
-// JSON for external plotting/regression tooling — the programmatic
-// counterpart of the figure benches.
+// Batch runner: sweep (workloads x schemes) cells on the parallel sweep
+// engine and emit machine-readable JSON for external plotting/regression
+// tooling — the programmatic counterpart of the figure benches.
 //
-// Run: ./build/examples/batch_runner [algorithm] [out.json] [workload...]
+// Run: ./build/examples/batch_runner [--threads N] [--shard i/k] [--seed S]
+//        [algorithm] [out.json] [workload...]
+//
+// JSON output is aggregated in cell order regardless of thread count, so a
+// run with --threads 8 is byte-identical to --threads 1.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
 #include "sim/experiment.h"
 #include "sim/json_export.h"
+#include "sim/sweep.h"
 #include "workload/profile.h"
 
 using namespace disco;
 
 int main(int argc, char** argv) {
-  SystemConfig cfg;
-  cfg.algorithm = argc > 1 ? argv[1] : "delta";
-  const std::string out_path = argc > 2 ? argv[2] : "results.json";
+  std::vector<std::string> positional;
+  sim::SweepOptions sweep_opt = sim::parse_sweep_flags(argc, argv, positional);
+  sweep_opt.progress_label = "batch";
 
-  std::vector<std::string> names;
-  for (int i = 3; i < argc; ++i) names.emplace_back(argv[i]);
+  SystemConfig cfg;
+  cfg.algorithm = !positional.empty() ? positional[0] : "delta";
+  const std::string out_path = positional.size() > 1 ? positional[1] : "results.json";
+
+  std::vector<std::string> names(
+      positional.begin() + std::min<std::size_t>(2, positional.size()),
+      positional.end());
   if (names.empty()) names = {"canneal", "dedup", "streamcluster", "swaptions"};
 
   sim::RunOptions opt;
   opt.measure_cycles = 60000;
 
-  std::vector<sim::CellResult> results;
-  for (const auto& name : names) {
-    const auto& profile = workload::profile_by_name(name);
-    for (const Scheme s :
-         {Scheme::Baseline, Scheme::Ideal, Scheme::CC, Scheme::CNC,
-          Scheme::DISCO}) {
-      SystemConfig cell = cfg;
-      cell.scheme = s;
-      results.push_back(sim::run_cell(cell, profile, opt));
-      std::printf("  %-14s %-8s nuca=%.1f cycles\n", name.c_str(), to_string(s),
-                  results.back().avg_nuca_latency);
+  const std::vector<Scheme> schemes = {Scheme::Baseline, Scheme::Ideal,
+                                       Scheme::CC, Scheme::CNC, Scheme::DISCO};
+  std::vector<sim::SweepCell> cells;
+  for (std::size_t w = 0; w < names.size(); ++w) {
+    const workload::BenchmarkProfile* profile = nullptr;
+    try {
+      profile = &workload::profile_by_name(names[w]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    for (const Scheme s : schemes) {
+      sim::SweepCell c{cfg, *profile, opt};
+      c.cfg.scheme = s;
+      c.group = w;  // all schemes of a workload share a seed and a shard
+      cells.push_back(std::move(c));
     }
   }
 
+  const auto sweep = sim::run_sweep(cells, sweep_opt);
+  for (const auto& cell : sweep.cells) {
+    if (!cell.ok()) continue;
+    std::printf("  %-14s %-8s nuca=%.1f cycles\n", cell.result.workload.c_str(),
+                to_string(cell.result.scheme), cell.result.avg_nuca_latency);
+  }
+  for (const auto& cell : sweep.cells) {
+    if (cell.ok() || cell.status == sim::CellStatus::Skipped) continue;
+    std::printf("  cell %zu %s: %s\n", cell.index, to_string(cell.status),
+                cell.error.c_str());
+  }
+
+  const auto results = sweep.ok_results();
   std::ofstream out(out_path);
   sim::write_json(out, results);
-  std::printf("\nwrote %zu cells to %s\n", results.size(), out_path.c_str());
-  return 0;
+  std::printf("\nwrote %zu cells to %s (%zu failed, %zu in other shards)\n",
+              results.size(), out_path.c_str(), sweep.failed, sweep.skipped);
+  return sweep.all_ok() ? 0 : 1;
 }

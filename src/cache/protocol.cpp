@@ -1,10 +1,12 @@
 #include "cache/protocol.h"
 
+#include <atomic>
+
 namespace disco::cache {
 
 noc::PacketId next_packet_id() {
-  static noc::PacketId next = 1;
-  return next++;
+  static std::atomic<noc::PacketId> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 noc::PacketPtr make_packet(Msg m, Addr addr, NodeId src, UnitKind src_unit,

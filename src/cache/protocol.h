@@ -119,7 +119,9 @@ inline bool is_read_critical(Msg m) {
 noc::PacketPtr make_packet(Msg m, Addr addr, NodeId src, UnitKind src_unit,
                            NodeId dst, UnitKind dst_unit, Cycle now);
 
-/// Monotonic packet-id source (single-threaded simulator).
+/// Monotonic packet-id source. Thread-safe so independent experiment cells
+/// can run concurrently (ids are only used as reassembly-map keys, so the
+/// interleaving across cells does not affect any metric).
 noc::PacketId next_packet_id();
 
 inline Addr block_align(Addr a) { return a & ~static_cast<Addr>(kBlockBytes - 1); }

@@ -15,6 +15,13 @@ constexpr std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Derive an independent stream seed from (base_seed, index). Used by the
+/// sweep engine so every experiment cell gets a deterministic seed that
+/// depends only on its position in the sweep, never on execution order.
+constexpr std::uint64_t splitmix64(std::uint64_t seed, std::uint64_t index) {
+  return splitmix64(splitmix64(seed) ^ splitmix64(index + 0x632BE59BD9B4E019ULL));
+}
+
 /// xoshiro256** generator: fast, high quality, deterministic across platforms.
 class Rng {
  public:

@@ -1,15 +1,23 @@
 #include "common/stats.h"
 
+#include <cmath>
+
 namespace disco {
 
 std::uint64_t Histogram::approx_quantile(double q) const {
   const std::uint64_t total = acc_.count();
   if (total == 0) return 0;
-  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the sample whose bucket we report: ceil(q * total), clamped to
+  // [1, total] so q=0 lands on the minimum sample and q=1 on the maximum
+  // (instead of falling through to the last bucket regardless of the data).
+  std::uint64_t target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+  target = std::clamp<std::uint64_t>(target, 1, total);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += buckets_[i];
-    if (seen > target) return 1ULL << i;
+    if (seen >= target) return 1ULL << i;
   }
   return 1ULL << (kBuckets - 1);
 }

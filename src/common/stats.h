@@ -48,7 +48,11 @@ class Histogram {
   static constexpr std::size_t num_buckets() { return kBuckets; }
   void reset() { *this = Histogram{}; }
 
-  /// Approximate quantile from bucket boundaries (upper bound of the bucket).
+  /// Approximate quantile from bucket boundaries. Returns the exclusive
+  /// upper bound (2^i) of the bucket holding the sample of rank
+  /// ceil(q * count), with q clamped to [0, 1]: q=0 reports the minimum
+  /// sample's bucket, q=1 the maximum sample's bucket, and a single-sample
+  /// histogram reports that sample's bucket for every q.
   std::uint64_t approx_quantile(double q) const;
 
  private:

@@ -49,8 +49,7 @@ void DiscoUnit::after_allocation(Cycle now, const std::vector<VcId>& losers) {
   if (!engine_available() || losers.empty()) return;
 
   // Packet filter + confidence counter (Fig. 3).
-  Candidate best;
-  bool found = false;
+  std::vector<Candidate> candidates;
   for (const VcId& v : losers) {
     VirtualChannel& ch = router_.vc(v);
     const noc::PacketPtr pkt = ch.head_packet();
@@ -71,10 +70,7 @@ void DiscoUnit::after_allocation(Cycle now, const std::vector<VcId>& losers) {
       }
       const double c = compression_confidence(v);
       if (c > cc_th_) {
-        if (!found || c > best.confidence) {
-          best = {v, /*decompress=*/false, c};
-          found = true;
-        }
+        candidates.push_back({v, /*decompress=*/false, c});
       } else {
         ++window_rejections_;
       }
@@ -85,22 +81,26 @@ void DiscoUnit::after_allocation(Cycle now, const std::vector<VcId>& losers) {
       if (!ch.whole_packet_resident()) continue;
       const double c = decompression_confidence(v);
       if (c > cd_th_) {
-        if (!found || c > best.confidence) {
-          best = {v, /*decompress=*/true, c};
-          found = true;
-        }
+        candidates.push_back({v, /*decompress=*/true, c});
       } else {
         ++window_rejections_;
       }
     }
   }
-  if (!found) return;
+  if (candidates.empty()) return;
 
+  // Dispatch the top-k losers, one per free engine. Each candidate is a
+  // distinct VC (engine_busy VCs were filtered above), so winners never
+  // contend for the same packet. stable_sort keeps the losers order on
+  // confidence ties, which keeps the dispatch deterministic.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.confidence > b.confidence;
+                   });
+  std::size_t next = 0;
   for (Engine& eng : engines_) {
-    if (!eng.busy) {
-      start(eng, best, now);
-      return;
-    }
+    if (next >= candidates.size()) break;
+    if (!eng.busy) start(eng, candidates[next++], now);
   }
 }
 
@@ -144,7 +144,7 @@ void DiscoUnit::on_shadow_departed(const VcId& v) {
     if (!eng.busy || !(eng.vc == v)) continue;
     // Mis-predicted stall: the port freed up and the scheduler sent the
     // shadow packet; invalidate the flits under process (non-blocking op).
-    ++stats_.compression_aborts;
+    ++(eng.decompress ? stats_.decompression_aborts : stats_.compression_aborts);
     ++window_aborts_;
     release(eng);
     return;
@@ -158,7 +158,8 @@ void DiscoUnit::tick(Cycle now) {
     VirtualChannel& ch = router_.vc(eng.vc);
     if (ch.head_packet() != eng.pkt || ch.sent_flits != 0) {
       // The shadow left between allocation and completion; treat as abort.
-      ++stats_.compression_aborts;
+      ++(eng.decompress ? stats_.decompression_aborts : stats_.compression_aborts);
+      ++window_aborts_;
       release(eng);
       continue;
     }

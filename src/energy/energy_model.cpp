@@ -48,12 +48,20 @@ EnergyBreakdown compute_energy(const noc::NocStats& noc,
       cache.bank_compressions + noc.ni_compressions + noc.source_compressions);
   const double decomp_ops = static_cast<double>(cache.bank_decompressions +
                                                 noc.ni_decompressions);
-  const double engine_ops = static_cast<double>(noc.engine_starts);
+  // Engine starts split by operation kind: decompression attempts are the
+  // completed in-flight decompressions plus the aborted ones; everything
+  // else that started was a compression attempt (including aborted and
+  // incompressible ones — the datapath still burned the energy).
+  const double decomp_engine_ops = static_cast<double>(
+      noc.inflight_decompressions + noc.decompression_aborts);
+  const double comp_engine_ops =
+      static_cast<double>(noc.engine_starts) - decomp_engine_ops;
   const double scale = algo_overhead_factor;
   e.compressor_dynamic_nj =
       kPjToNj *
       (comp_ops * kCompressOpPj * scale + decomp_ops * kDecompressOpPj * scale +
-       engine_ops * 0.5 * (kCompressOpPj + kDecompressOpPj) * scale +
+       (comp_engine_ops * kCompressOpPj + decomp_engine_ops * kDecompressOpPj) *
+           scale +
        static_cast<double>(noc.sa_idle_losses) * kConfidenceEvalPj *
            (cfg.scheme == Scheme::DISCO ? 1.0 : 0.0));
 

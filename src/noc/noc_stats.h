@@ -23,7 +23,8 @@ struct NocStats {
   std::uint64_t inflight_compressions = 0;    ///< completed in-router compressions
   std::uint64_t inflight_decompressions = 0;  ///< completed in-router decompressions
   std::uint64_t source_compressions = 0;      ///< DISCO source-queue (local-port) compressions
-  std::uint64_t compression_aborts = 0;       ///< shadow packet departed mid-op
+  std::uint64_t compression_aborts = 0;       ///< shadow departed mid-compression
+  std::uint64_t decompression_aborts = 0;     ///< shadow departed mid-decompression
   std::uint64_t engine_starts = 0;
   std::uint64_t ni_compressions = 0;          ///< NI-side (CNC/Ideal) compressions
   std::uint64_t ni_decompressions = 0;        ///< NI-side decompressions

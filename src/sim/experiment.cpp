@@ -37,6 +37,7 @@ CellResult run_cell(const SystemConfig& cfg,
   r.inflight_decompressions = ns.inflight_decompressions;
   r.source_compressions = ns.source_compressions;
   r.compression_aborts = ns.compression_aborts;
+  r.decompression_aborts = ns.decompression_aborts;
   r.hidden_decomp_ops = ns.hidden_decomp_ops;
   r.exposed_decomp_cycles = ns.exposed_decomp_cycles;
   r.energy = energy::compute_energy(ns, cs, cfg, opt.measure_cycles,

@@ -35,6 +35,7 @@ struct CellResult {
   std::uint64_t inflight_decompressions = 0;
   std::uint64_t source_compressions = 0;
   std::uint64_t compression_aborts = 0;
+  std::uint64_t decompression_aborts = 0;
   std::uint64_t hidden_decomp_ops = 0;
   std::uint64_t exposed_decomp_cycles = 0;
 

@@ -24,6 +24,7 @@ void write_fields(std::ostream& os, const CellResult& r) {
      << "\"inflight_decompressions\":" << r.inflight_decompressions << ","
      << "\"source_compressions\":" << r.source_compressions << ","
      << "\"compression_aborts\":" << r.compression_aborts << ","
+     << "\"decompression_aborts\":" << r.decompression_aborts << ","
      << "\"hidden_decomp_ops\":" << r.hidden_decomp_ops << ","
      << "\"energy\":{"
      << "\"noc_dynamic_nj\":" << r.energy.noc_dynamic_nj << ","

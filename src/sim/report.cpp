@@ -68,7 +68,10 @@ void noc_section(std::ostream& os, const noc::NocStats& ns) {
   d.add_row({"in-router compressions", std::to_string(ns.inflight_compressions)});
   d.add_row({"in-router decompressions", std::to_string(ns.inflight_decompressions)});
   d.add_row({"source-queue compressions", std::to_string(ns.source_compressions)});
-  d.add_row({"aborted (non-blocking)", std::to_string(ns.compression_aborts)});
+  d.add_row({"aborted compressions (non-blocking)",
+             std::to_string(ns.compression_aborts)});
+  d.add_row({"aborted decompressions (non-blocking)",
+             std::to_string(ns.decompression_aborts)});
   d.add_row({"decompressions hidden at eject", std::to_string(ns.hidden_decomp_ops)});
   d.add_row({"NI compressions / decompressions",
              std::to_string(ns.ni_compressions) + " / " +

@@ -1,0 +1,303 @@
+#include "sim/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace disco::sim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw - 1 : 1;
+}
+
+/// Serialized stderr progress line: cells done / total, elapsed, ETA.
+class ProgressMeter {
+ public:
+  ProgressMeter(std::size_t total, const SweepOptions& opt)
+      : total_(total), enabled_(opt.progress), label_(opt.progress_label),
+        start_(Clock::now()) {}
+
+  void cell_done() {
+    if (!enabled_) return;
+    const std::size_t done = ++done_;
+    std::lock_guard<std::mutex> lock(mu_);
+    const double elapsed_s = ms_since(start_) / 1000.0;
+    const double eta_s =
+        done > 0 ? elapsed_s * static_cast<double>(total_ - done) /
+                       static_cast<double>(done)
+                 : 0.0;
+    std::fprintf(stderr, "\r%s: %zu/%zu cells (%3.0f%%)  elapsed %.1fs  eta %.1fs ",
+                 label_.c_str(), done, total_,
+                 100.0 * static_cast<double>(done) / static_cast<double>(total_),
+                 elapsed_s, eta_s);
+    if (done == total_) std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+  }
+
+  void note(const std::string& line) {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fprintf(stderr, "\n%s: %s\n", label_.c_str(), line.c_str());
+  }
+
+ private:
+  const std::size_t total_;
+  const bool enabled_;
+  const std::string label_;
+  const Clock::time_point start_;
+  std::atomic<std::size_t> done_{0};
+  std::mutex mu_;
+};
+
+/// Pull-based pool: workers claim task indices from a shared counter. With
+/// one resolved thread the tasks run inline on the calling thread, so serial
+/// and parallel execution share one code path.
+void run_pool(std::size_t count, unsigned threads,
+              const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1))
+      task(i);
+  };
+  const unsigned n = std::min<std::size_t>(resolve_threads(threads), count);
+  if (n <= 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+}
+
+/// Completion slot shared with a (possibly outlived) attempt thread.
+struct AttemptState {
+  SweepCell cell;  ///< owned copy: must outlive a timed-out, detached attempt
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool threw = false;
+  std::string error;
+  CellResult result;
+};
+
+/// One attempt at a cell. Returns Ok/Failed, or TimedOut when a wall-clock
+/// budget is set and exceeded — in that case the attempt thread is detached
+/// and its eventual result discarded, so the sweep keeps moving.
+CellStatus run_attempt(const SweepCell& cell, std::uint64_t timeout_ms,
+                       CellResult& result, std::string& error) {
+  if (timeout_ms == 0) {
+    try {
+      result = run_cell(cell.cfg, cell.profile, cell.opt);
+      return CellStatus::Ok;
+    } catch (const std::exception& e) {
+      error = e.what();
+    } catch (...) {
+      error = "unknown exception";
+    }
+    return CellStatus::Failed;
+  }
+
+  auto st = std::make_shared<AttemptState>();
+  st->cell = cell;
+  std::thread([st] {
+    CellResult r;
+    bool threw = false;
+    std::string err;
+    try {
+      r = run_cell(st->cell.cfg, st->cell.profile, st->cell.opt);
+    } catch (const std::exception& e) {
+      threw = true;
+      err = e.what();
+    } catch (...) {
+      threw = true;
+      err = "unknown exception";
+    }
+    std::lock_guard<std::mutex> lock(st->mu);
+    st->result = std::move(r);
+    st->threw = threw;
+    st->error = std::move(err);
+    st->done = true;
+    st->cv.notify_all();
+  }).detach();
+
+  std::unique_lock<std::mutex> lock(st->mu);
+  if (!st->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                       [&] { return st->done; })) {
+    error = "cell exceeded " + std::to_string(timeout_ms) + "ms budget";
+    return CellStatus::TimedOut;
+  }
+  if (st->threw) {
+    error = st->error;
+    return CellStatus::Failed;
+  }
+  result = std::move(st->result);
+  return CellStatus::Ok;
+}
+
+[[noreturn]] void usage(const char* prog, int code) {
+  std::fprintf(stderr,
+               "usage: %s [--threads N] [--shard i/k] [--seed S]\n"
+               "          [--timeout-ms T] [--no-progress] [args...]\n"
+               "  --threads N     worker threads (default: cores - 1)\n"
+               "  --shard i/k     run shard i of k (0 <= i < k); cells are\n"
+               "                  sharded by group so comparison rows stay whole\n"
+               "  --seed S        base seed; per-cell seed = splitmix64(S, cell)\n"
+               "  --timeout-ms T  per-cell wall-clock budget (0 = none)\n"
+               "  --no-progress   suppress the stderr progress line\n",
+               prog);
+  std::exit(code);
+}
+
+}  // namespace
+
+const char* to_string(CellStatus s) {
+  switch (s) {
+    case CellStatus::Ok: return "ok";
+    case CellStatus::Failed: return "failed";
+    case CellStatus::TimedOut: return "timed_out";
+    case CellStatus::Skipped: return "skipped";
+  }
+  return "?";
+}
+
+const CellResult* SweepResult::ok(std::size_t index) const {
+  return index < cells.size() && cells[index].ok() ? &cells[index].result
+                                                   : nullptr;
+}
+
+std::vector<CellResult> SweepResult::ok_results() const {
+  std::vector<CellResult> out;
+  out.reserve(completed);
+  for (const auto& c : cells)
+    if (c.ok()) out.push_back(c.result);
+  return out;
+}
+
+SweepResult run_sweep(const std::vector<SweepCell>& cells,
+                      const SweepOptions& opt) {
+  const auto t0 = Clock::now();
+  SweepResult res;
+  res.cells.resize(cells.size());
+
+  // Resolve groups/seeds and the shard's work list up front, so everything
+  // order-dependent happens deterministically before any thread runs.
+  std::vector<SweepCell> prepared(cells);
+  std::vector<std::size_t> work;
+  const unsigned shards = std::max(1u, opt.shard_count);
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    SweepCell& c = prepared[i];
+    if (c.group == SweepCell::kAuto) c.group = i;
+    if (c.seed_group == SweepCell::kAuto) c.seed_group = c.group;
+    if (opt.reseed_cells)
+      c.cfg.seed = splitmix64(opt.base_seed,
+                              static_cast<std::uint64_t>(c.seed_group));
+    res.cells[i].index = i;
+    res.cells[i].group = c.group;
+    if (c.group % shards == opt.shard_index % shards) {
+      work.push_back(i);
+    } else {
+      res.cells[i].status = CellStatus::Skipped;
+      ++res.skipped;
+    }
+  }
+
+  ProgressMeter progress(work.size(), opt);
+  const unsigned max_attempts = std::max(1u, opt.max_attempts);
+
+  run_pool(work.size(), opt.threads, [&](std::size_t w) {
+    const std::size_t i = work[w];
+    SweepCellOutcome& out = res.cells[i];
+    const auto cell_t0 = Clock::now();
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+      out.attempts = attempt;
+      out.status = run_attempt(prepared[i], opt.cell_timeout_ms, out.result,
+                               out.error);
+      // A timed-out cell is not retried: the retry would spend the same
+      // wall-clock budget again for the same deterministic outcome.
+      if (out.status != CellStatus::Failed) break;
+    }
+    out.wall_ms = ms_since(cell_t0);
+    if (!out.ok()) {
+      progress.note("cell " + std::to_string(i) + " (" +
+                    prepared[i].profile.name + "/" +
+                    std::string(to_string(prepared[i].cfg.scheme)) + ") " +
+                    to_string(out.status) + ": " + out.error);
+    }
+    progress.cell_done();
+  });
+
+  for (const auto& c : res.cells) {
+    if (c.ok()) ++res.completed;
+    else if (c.status != CellStatus::Skipped) ++res.failed;
+  }
+  res.wall_ms = ms_since(t0);
+  return res;
+}
+
+void run_indexed(std::size_t count, const std::function<void(std::size_t)>& fn,
+                 const SweepOptions& opt) {
+  ProgressMeter progress(count, opt);
+  run_pool(count, opt.threads, [&](std::size_t i) {
+    fn(i);
+    progress.cell_done();
+  });
+}
+
+SweepOptions parse_sweep_flags(int argc, char** argv,
+                               std::vector<std::string>& positional) {
+  SweepOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0], 2);
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0], 0);
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--seed") {
+      opt.base_seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--timeout-ms") {
+      opt.cell_timeout_ms = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--no-progress") {
+      opt.progress = false;
+    } else if (arg == "--shard") {
+      const char* v = value();
+      char* sep = nullptr;
+      opt.shard_index = static_cast<unsigned>(std::strtoul(v, &sep, 10));
+      if (!sep || (*sep != '/' && *sep != ':')) usage(argv[0], 2);
+      opt.shard_count = static_cast<unsigned>(std::strtoul(sep + 1, nullptr, 10));
+      if (opt.shard_count == 0 || opt.shard_index >= opt.shard_count)
+        usage(argv[0], 2);
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      usage(argv[0], 2);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  return opt;
+}
+
+}  // namespace disco::sim

@@ -1,0 +1,112 @@
+// Parallel sweep engine: runs independent experiment cells (one run_cell
+// each) on a work-queue thread pool. Every figure/table in the paper is a
+// sweep over (scheme x algorithm x workload x mesh) cells and each cell is
+// shared-nothing, so the evaluation matrix parallelizes embarrassingly.
+//
+// Guarantees:
+//   - Determinism: each cell's RNG seed is splitmix64(base_seed, seed_group)
+//     — a pure function of the cell's position in the sweep, never of
+//     execution order — and results are aggregated in input order, so an
+//     N-thread run emits bit-identical metrics to a serial run.
+//   - Robustness: a cell that throws is retried up to max_attempts times and
+//     then recorded as Failed (with the exception text) instead of aborting
+//     the whole sweep; an optional wall-clock timeout records TimedOut.
+//   - Sharding: `--shard i/k` splits a sweep across machines by cell group,
+//     so rows that normalize against a sibling cell stay intact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "workload/profile.h"
+
+namespace disco::sim {
+
+struct SweepOptions {
+  /// Worker threads; 0 means max(1, hardware_concurrency - 1).
+  unsigned threads = 0;
+  /// Per-cell seeds derive from this (see SweepCell::seed_group).
+  std::uint64_t base_seed = 1;
+  /// When false, cells keep the seed already in their SystemConfig.
+  bool reseed_cells = true;
+  /// Attempts per cell before it is recorded as Failed (>= 1).
+  unsigned max_attempts = 2;
+  /// Wall-clock budget per cell attempt; 0 disables the timeout.
+  std::uint64_t cell_timeout_ms = 0;
+  /// Run only cells whose group satisfies group % shard_count == shard_index;
+  /// the rest are recorded as Skipped.
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
+  /// Progress reporting (cells done / total, ETA) on stderr.
+  bool progress = true;
+  std::string progress_label = "sweep";
+};
+
+struct SweepCell {
+  SystemConfig cfg;
+  workload::BenchmarkProfile profile;
+  RunOptions opt;
+
+  static constexpr std::size_t kAuto = static_cast<std::size_t>(-1);
+  /// Sharding granule. Cells sharing a group always land in the same shard,
+  /// so a bench row that normalizes several schemes against each other is
+  /// never split across machines. Defaults to the cell's own index.
+  std::size_t group = kAuto;
+  /// Seed granule: cells sharing a seed_group replay identical workload
+  /// traffic (required when cells of a row are compared against each other).
+  /// Defaults to `group`.
+  std::size_t seed_group = kAuto;
+};
+
+enum class CellStatus : std::uint8_t { Ok, Failed, TimedOut, Skipped };
+
+const char* to_string(CellStatus s);
+
+struct SweepCellOutcome {
+  std::size_t index = 0;
+  std::size_t group = 0;
+  CellStatus status = CellStatus::Skipped;
+  unsigned attempts = 0;
+  double wall_ms = 0;
+  std::string error;    ///< exception text of the last failed attempt
+  CellResult result;    ///< valid only when status == CellStatus::Ok
+
+  bool ok() const { return status == CellStatus::Ok; }
+};
+
+struct SweepResult {
+  std::vector<SweepCellOutcome> cells;  ///< input order, one per input cell
+  std::size_t completed = 0;
+  std::size_t failed = 0;   ///< Failed + TimedOut
+  std::size_t skipped = 0;  ///< not in this shard
+  double wall_ms = 0;
+
+  bool all_ok() const { return failed == 0; }
+  /// The Ok cell at `index`, or nullptr if it failed or was skipped.
+  const CellResult* ok(std::size_t index) const;
+  /// All Ok results in input order (failed/skipped cells omitted).
+  std::vector<CellResult> ok_results() const;
+};
+
+SweepResult run_sweep(const std::vector<SweepCell>& cells,
+                      const SweepOptions& opt);
+
+/// Generic parallel map over [0, count) on the same thread pool with the
+/// same ordered-completion progress reporting, for sweeps whose cells are
+/// not run_cell invocations (network-only load/latency points, per-algorithm
+/// corpus scans). `fn` must write its result into caller-owned, per-index
+/// storage; no timeout/retry wrapping is applied.
+void run_indexed(std::size_t count, const std::function<void(std::size_t)>& fn,
+                 const SweepOptions& opt);
+
+/// Parse the standard sweep flags (--threads N, --shard i/k, --seed S,
+/// --no-progress, --timeout-ms T, --help) out of argv; every unrecognized
+/// argument is appended to `positional` in order. Exits with a usage message
+/// on malformed flags or --help.
+SweepOptions parse_sweep_flags(int argc, char** argv,
+                               std::vector<std::string>& positional);
+
+}  // namespace disco::sim

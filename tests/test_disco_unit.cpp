@@ -106,6 +106,7 @@ TEST_F(DiscoNetFixture, RandomTrafficIntegrityUnderAggressiveEngines) {
 TEST_F(DiscoNetFixture, NonBlockingAbortsAreCounted) {
   DiscoConfig dcfg;
   dcfg.cc_threshold = -100.0;
+  dcfg.cd_threshold = 1e18;  // decompression engines off: compression only
   dcfg.non_blocking = true;
   build(dcfg);
   Rng rng(21);
@@ -121,6 +122,89 @@ TEST_F(DiscoNetFixture, NonBlockingAbortsAreCounted) {
   EXPECT_EQ(stats_.packets_ejected, 300u);
   // With hair-trigger thresholds many shadow packets depart mid-operation.
   EXPECT_GT(stats_.compression_aborts, 0u);
+  // Only compressions ever started, so no abort may be booked against
+  // decompression (the two counters are attributed by engine operation).
+  EXPECT_EQ(stats_.decompression_aborts, 0u);
+}
+
+TEST_F(DiscoNetFixture, DecompressionAbortsAttributedSeparately) {
+  // Compression engines off, hair-trigger decompression: packets enter the
+  // network pre-compressed (source-queue policy), so every aborted engine
+  // operation is a decompression and must land in decompression_aborts —
+  // the counter the adaptive controller and Fig. 7 accounting read — and
+  // never in compression_aborts.
+  DiscoConfig dcfg;
+  dcfg.cc_threshold = 1e18;
+  dcfg.cd_threshold = -100.0;
+  dcfg.beta = 0.0;
+  dcfg.non_blocking = true;
+  algo_ = compress::make_algorithm("delta");
+  noc::NiPolicy policy;
+  policy.algo = algo_.get();
+  policy.compress_on_inject = true;  // every data packet travels compressed
+  policy.decompress_for_raw_consumers = true;
+  policy.decomp_cycles = algo_->latency().decomp_cycles;
+  NocConfig cfg;
+  net_ = std::make_unique<Network>(
+      cfg, policy, stats_, [&](noc::Router& r) {
+        return std::make_unique<DiscoUnit>(r, dcfg, *algo_, algo_->latency(),
+                                           stats_);
+      });
+  sinks_.resize(cfg.num_nodes());
+  for (NodeId n = 0; n < cfg.num_nodes(); ++n)
+    net_->register_sink(n, UnitKind::Core, &sinks_[n]);
+
+  Rng rng(29);
+  std::uint64_t id = 1;
+  for (int i = 0; i < 400; ++i) {
+    const auto src = static_cast<NodeId>(rng.next_below(16));
+    net_->inject(src, make_packet(src, 12, VNet::Response, true, clock_, id++),
+                 clock_);
+    net_->tick(++clock_);
+  }
+  ASSERT_TRUE(run_until_quiescent(*net_, clock_, 60000));
+  EXPECT_EQ(stats_.packets_ejected, 400u);
+  EXPECT_GT(stats_.engine_starts, 0u);
+  EXPECT_GT(stats_.decompression_aborts, 0u)
+      << "hair-trigger decompression under a hotspot must abort sometimes";
+  EXPECT_EQ(stats_.compression_aborts, 0u)
+      << "no compression ever started, so none may be booked as aborted";
+}
+
+TEST_F(DiscoNetFixture, MultipleEnginesDispatchMultipleLosersPerCycle) {
+  // With k engines per router, up to k qualifying losers must start in the
+  // same allocation cycle (top-k dispatch), not one per cycle. Under an
+  // identical hotspot, two engines must complete strictly more in-router
+  // operations than one.
+  auto run = [&](std::uint32_t engines) {
+    stats_ = NocStats{};
+    clock_ = 0;
+    DiscoConfig dcfg;
+    dcfg.cc_threshold = -100.0;
+    dcfg.cd_threshold = -100.0;
+    dcfg.beta = 0.0;
+    dcfg.non_blocking = false;  // operations run to completion
+    dcfg.engines_per_router = engines;
+    build(dcfg);
+    Rng rng(33);
+    std::uint64_t id = 1;
+    for (int round = 0; round < 40; ++round) {
+      for (NodeId src = 0; src < 16; ++src) {
+        net_->inject(src,
+                     make_packet(src, 12, VNet::Response, true, clock_, id++),
+                     clock_);
+      }
+      net_->tick(++clock_);
+    }
+    EXPECT_TRUE(run_until_quiescent(*net_, clock_, 120000));
+    EXPECT_EQ(stats_.packets_ejected, 40u * 16u);
+    return stats_.engine_starts;
+  };
+  const std::uint64_t one = run(1);
+  const std::uint64_t two = run(2);
+  ASSERT_GT(one, 0u);
+  EXPECT_GT(two, one)
+      << "a second engine must absorb additional same-cycle candidates";
 }
 
 TEST_F(DiscoNetFixture, BlockingModeLetsOperationsComplete) {

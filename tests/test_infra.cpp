@@ -7,6 +7,7 @@
 #include "cmp/scheme.h"
 #include "common/config.h"
 #include "common/rng.h"
+#include "common/stats.h"
 #include "common/table.h"
 #include "compress/registry.h"
 
@@ -40,6 +41,44 @@ TEST(Rng, ChanceMatchesProbability) {
 TEST(Rng, SplitmixIsStatelessHash) {
   EXPECT_EQ(splitmix64(42), splitmix64(42));
   EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(Rng, SplitmixStreamDerivationSeparatesCells) {
+  // The sweep engine's per-cell seeds: pure function of (base, index),
+  // distinct across indices and across bases.
+  EXPECT_EQ(splitmix64(1, 0), splitmix64(1, 0));
+  EXPECT_NE(splitmix64(1, 0), splitmix64(1, 1));
+  EXPECT_NE(splitmix64(1, 7), splitmix64(2, 7));
+  // Not the trivial composition of either single-arg hash.
+  EXPECT_NE(splitmix64(1, 0), splitmix64(1));
+  EXPECT_NE(splitmix64(1, 0), splitmix64(0));
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  // Bucket convention: add() files v into the bucket whose exclusive upper
+  // bound 2^i is the smallest power of two > v; approx_quantile reports
+  // that upper bound for the sample of rank ceil(q * count).
+  Histogram h;
+  h.add(0);    // bucket 0 -> reports 1
+  h.add(3);    // bucket 2 -> reports 4
+  h.add(3);
+  h.add(100);  // bucket 7 -> reports 128
+  EXPECT_EQ(h.approx_quantile(0.0), 1u) << "q=0 is the minimum's bucket";
+  EXPECT_EQ(h.approx_quantile(0.5), 4u);
+  EXPECT_EQ(h.approx_quantile(0.99), 128u);
+  EXPECT_EQ(h.approx_quantile(1.0), 128u) << "q=1 is the maximum's bucket";
+  // Out-of-range q clamps instead of under/overflowing the rank.
+  EXPECT_EQ(h.approx_quantile(-0.5), 1u);
+  EXPECT_EQ(h.approx_quantile(2.0), 128u);
+}
+
+TEST(Histogram, QuantileSingleSampleAndEmpty) {
+  Histogram empty;
+  EXPECT_EQ(empty.approx_quantile(0.5), 0u);
+  Histogram one;
+  one.add(9);  // bucket (8..15] -> reports 16
+  for (const double q : {0.0, 0.5, 0.99, 1.0})
+    EXPECT_EQ(one.approx_quantile(q), 16u) << "q=" << q;
 }
 
 TEST(Table, RendersAlignedGrid) {
