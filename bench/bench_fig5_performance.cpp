@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   const auto sweep_opt = bench::sweep_options(argc, argv, "fig5");
   SystemConfig cfg;
   cfg.algorithm = "delta";
+  bench::configure_faults(cfg, sweep_opt);
   bench::print_banner("Figure 5: performance with delta-based compression", cfg);
 
   const auto opt = bench::standard_options();

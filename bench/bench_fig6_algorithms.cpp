@@ -9,6 +9,7 @@ using namespace disco;
 int main(int argc, char** argv) {
   const auto sweep_opt = bench::sweep_options(argc, argv, "fig6");
   SystemConfig base;
+  bench::configure_faults(base, sweep_opt);
   bench::print_banner("Figure 6: performance with FPC and SC2", base);
 
   const auto opt = bench::standard_options();

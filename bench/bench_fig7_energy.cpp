@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   const auto sweep_opt = bench::sweep_options(argc, argv, "fig7");
   SystemConfig cfg;
   cfg.algorithm = "delta";
+  bench::configure_faults(cfg, sweep_opt);
   bench::print_banner("Figure 7: memory-subsystem energy, delta compression", cfg);
 
   const auto opt = bench::standard_options();

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   const auto sweep_opt = bench::sweep_options(argc, argv, "fig8");
   SystemConfig base;
   base.algorithm = "delta";
+  bench::configure_faults(base, sweep_opt);
   bench::print_banner("Figure 8: scalability with CMP size", base);
 
   auto opt = bench::standard_options();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "compress/registry.h"
 #include "sim/experiment.h"
 #include "sim/sweep.h"
 #include "workload/profile.h"
@@ -38,6 +39,24 @@ inline sim::SweepOptions sweep_options(int argc, char** argv,
   }
   opt.progress_label = label;
   return opt;
+}
+
+/// Copy the sweep's --fault-* knobs into a cell config. No-op (and
+/// byte-identical outputs) when no fault flag was given.
+inline void configure_faults(SystemConfig& cfg, const sim::SweepOptions& opt) {
+  cfg.fault = opt.fault;
+}
+
+/// Validate a user-supplied algorithm name up front, turning the registry's
+/// std::invalid_argument (which lists the valid names) into a clean usage
+/// error instead of an uncaught exception or a per-cell sweep failure.
+inline void check_algorithm_or_exit(const char* prog, const std::string& name) {
+  try {
+    (void)compress::make_algorithm(name);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s: %s\n", prog, e.what());
+    std::exit(2);
+  }
 }
 
 inline void print_banner(const char* title, const SystemConfig& cfg) {

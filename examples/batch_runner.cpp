@@ -25,6 +25,13 @@ int main(int argc, char** argv) {
 
   SystemConfig cfg;
   cfg.algorithm = !positional.empty() ? positional[0] : "delta";
+  try {
+    (void)compress::make_algorithm(cfg.algorithm);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  cfg.fault = sweep_opt.fault;
   const std::string out_path = positional.size() > 1 ? positional[1] : "results.json";
 
   std::vector<std::string> names(

@@ -428,6 +428,10 @@ void L2Bank::grant(Txn& t, Cycle now) {
   if (wire) {
     pkt->encoded = *line->stored;
     pkt->was_compressed = true;
+    // LLC fault site: a transient readout error corrupts the wire image
+    // handed to the network; the stored line itself stays intact.
+    if (policy_.injector != nullptr && policy_.injector->enabled())
+      policy_.injector->corrupt_llc_payload(pkt->encoded->bytes);
   }
   out_.schedule(std::move(pkt), now + delay);
   finish(t, now);

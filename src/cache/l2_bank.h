@@ -26,6 +26,7 @@
 #include "cache/protocol.h"
 #include "cache/stats.h"
 #include "common/config.h"
+#include "fault/fault.h"
 #include "noc/ni.h"
 
 namespace disco::cache {
@@ -35,6 +36,8 @@ struct L2BankPolicy {
   std::uint32_t read_decomp_cycles = 0;
   bool inject_stored_wire = false;
   std::uint32_t insert_comp_cycles = 0;  ///< off-critical-path, modelled as energy only
+  /// Optional fault injector: bit flips on compressed readouts (LLC site).
+  fault::FaultInjector* injector = nullptr;
 };
 
 class L2Bank final : public noc::PacketSink {

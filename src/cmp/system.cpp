@@ -31,7 +31,13 @@ CmpSystem::CmpSystem(const SystemConfig& cfg,
   assert(n <= 64 && "directory sharer bitmask limits the mesh to 64 tiles");
   maybe_retrain_sc2(*algo_, synth_);
 
-  const SchemeSetup setup = make_scheme_setup(cfg_.scheme, *algo_, cfg_.timing);
+  if (cfg_.fault.enabled) {
+    injector_ = std::make_unique<fault::FaultInjector>(
+        cfg_.fault, splitmix64(cfg_.seed, 0xFA17C0DEULL));
+  }
+
+  SchemeSetup setup = make_scheme_setup(cfg_.scheme, *algo_, cfg_.timing);
+  setup.bank.injector = injector_.get();
 
   // The low-priority rule for compressible-but-uncompressed packets
   // (section 3.3B) exists to create compression opportunities; it is part
@@ -47,10 +53,11 @@ CmpSystem::CmpSystem(const SystemConfig& cfg,
     }
     factory = [this, lat](noc::Router& r) {
       return std::make_unique<core::DiscoUnit>(r, cfg_.disco, *algo_, lat,
-                                               noc_stats_);
+                                               noc_stats_, injector_.get());
     };
   }
   network_ = std::make_unique<noc::Network>(cfg_.noc, setup.ni, noc_stats_, factory);
+  if (injector_ != nullptr) network_->set_fault_injector(injector_.get());
 
   // Memory controllers, evenly spread over the mesh.
   const std::uint32_t ctrls = std::max(1u, cfg_.mem.num_controllers);
@@ -226,6 +233,7 @@ void CmpSystem::reset_stats() {
   noc_stats_ = noc::NocStats{};
   cache_stats_ = cache::CacheStats{};
   for (auto& core : cores_) core->reset_counters();
+  if (injector_ != nullptr) injector_->reset_counters();
 }
 
 std::uint64_t CmpSystem::total_core_ops() const {

@@ -15,6 +15,7 @@
 #include "common/config.h"
 #include "compress/registry.h"
 #include "disco/unit.h"
+#include "fault/fault.h"
 #include "noc/network.h"
 #include "workload/profile.h"
 
@@ -44,6 +45,8 @@ class CmpSystem {
   const cache::CacheStats& cache_stats() const { return cache_stats_; }
   const compress::Algorithm& algorithm() const { return *algo_; }
   const workload::ValueSynthesizer& synthesizer() const { return synth_; }
+  /// Null unless cfg.fault.enabled.
+  const fault::FaultInjector* fault_injector() const { return injector_.get(); }
 
   noc::Network& network() { return *network_; }
   cache::L1Cache& l1(NodeId n) { return *l1s_[n]; }
@@ -68,6 +71,7 @@ class CmpSystem {
   SystemConfig cfg_;
   std::unique_ptr<compress::Algorithm> algo_;
   workload::ValueSynthesizer synth_;
+  std::unique_ptr<fault::FaultInjector> injector_;
 
   noc::NocStats noc_stats_;
   cache::CacheStats cache_stats_;

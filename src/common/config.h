@@ -97,6 +97,37 @@ struct CompressionTimingConfig {
   std::uint32_t decomp_cycles = 3;
 };
 
+/// Per-block integrity checksum carried in the packet header when fault
+/// injection is enabled. CRC-32 catches every realistic corruption; the
+/// 8-bit XOR fold is the cheap-hardware alternative (detects any single-bit
+/// flip but can miss multi-bit patterns — the trade-off the resilience
+/// bench quantifies).
+enum class CrcMode : std::uint8_t { Crc32, Fold8 };
+
+/// Deterministic fault injection + detect-and-recover machinery. Off by
+/// default; when `enabled` is false no checksum is computed, no verifier
+/// runs and all outputs are bit-identical to a build without the injector.
+struct FaultConfig {
+  bool enabled = false;
+
+  // --- fault rates per injection site ---
+  double link_bit_flip_rate = 0.0;   ///< per compressed-payload flit link traversal
+  double llc_bit_flip_rate = 0.0;    ///< per compressed block injected from an L2 bank
+  double flit_drop_rate = 0.0;       ///< per body flit link traversal (flit destroyed)
+  double flit_duplicate_rate = 0.0;  ///< per flit ejection (replayed into the NI)
+  double engine_stall_rate = 0.0;    ///< per DISCO engine start (transient slow-down)
+  double engine_fault_rate = 0.0;    ///< per DISCO compression (corrupts the output)
+
+  // --- recovery knobs ---
+  CrcMode crc = CrcMode::Crc32;
+  std::uint32_t engine_stall_cycles = 16;       ///< extra latency of a stalled engine
+  std::uint32_t engine_quarantine_threshold = 4;///< decode errors before self-quarantine
+  std::uint32_t max_retries = 4;                ///< retransmissions per corrupted block
+  std::uint32_t retry_backoff_base = 16;        ///< cycles; doubles per retry
+  std::uint32_t reassembly_timeout_cycles = 512;///< incomplete packet -> assume flit loss
+  std::uint32_t nack_retry_interval = 1024;     ///< re-NACK a parked block after this long
+};
+
 struct SystemConfig {
   NocConfig noc;
   DiscoConfig disco;
@@ -104,6 +135,7 @@ struct SystemConfig {
   L2Config l2;
   MemConfig mem;
   CompressionTimingConfig timing;
+  FaultConfig fault;
   Scheme scheme = Scheme::DISCO;
   std::string algorithm = "delta";  ///< key into compress::Registry
   std::uint64_t seed = 1;

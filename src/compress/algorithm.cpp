@@ -17,10 +17,21 @@ bool is_raw(std::span<const std::uint8_t> enc) {
 }
 
 BlockBytes decode_raw(std::span<const std::uint8_t> enc) {
-  assert(is_raw(enc) && enc.size() == 1 + kBlockBytes);
+  if (!is_raw(enc) || enc.size() != 1 + kBlockBytes)
+    throw DecodeError("malformed raw encoding");
   BlockBytes b{};
   for (std::size_t i = 0; i < kBlockBytes; ++i) b[i] = enc[1 + i];
   return b;
+}
+
+std::optional<BlockBytes> Algorithm::try_decompress(
+    std::span<const std::uint8_t> enc) const {
+  if (enc.empty()) return std::nullopt;
+  try {
+    return decompress(enc);
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
 }
 
 double ratio_of(const Algorithm& algo, const BlockBytes& block) {

@@ -7,11 +7,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string_view>
 #include <vector>
 
 #include "common/types.h"
+#include "compress/decode_error.h"
 
 namespace disco::compress {
 
@@ -22,11 +24,15 @@ struct LatencyModel {
   std::uint32_t decomp_cycles = 3;
 };
 
-/// Encoded form of one cache block. `bytes.size()` is the storage/transfer
-/// size used by the cache segment allocator and the flit packer.
+/// Encoded form of one cache block. `size()` is the storage/transfer size
+/// used by the cache segment allocator and the flit packer; it includes
+/// `overhead_bytes` of framing metadata (e.g. the concatenation tags of
+/// separate-flit compression) that occupy wire/storage space but are not
+/// part of the decodable stream in `bytes`.
 struct Encoded {
   std::vector<std::uint8_t> bytes;
-  std::size_t size() const { return bytes.size(); }
+  std::size_t overhead_bytes = 0;
+  std::size_t size() const { return bytes.size() + overhead_bytes; }
 };
 
 class Algorithm {
@@ -44,8 +50,14 @@ class Algorithm {
   /// result is never larger than kBlockBytes + 1.
   virtual Encoded compress(const BlockBytes& block) const = 0;
 
-  /// Exact inverse of compress().
+  /// Exact inverse of compress(). Throws DecodeError on malformed input
+  /// (truncated, overlong or invalid streams) instead of asserting.
   virtual BlockBytes decompress(std::span<const std::uint8_t> enc) const = 0;
+
+  /// Non-throwing decode for untrusted streams (fault injection, fuzzing):
+  /// std::nullopt on any malformed input, the exact block otherwise.
+  std::optional<BlockBytes> try_decompress(
+      std::span<const std::uint8_t> enc) const;
 };
 
 /// Shared raw-fallback helpers (tag byte 0xFF == stored uncompressed).

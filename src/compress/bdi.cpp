@@ -117,18 +117,27 @@ Encoded BdiAlgorithm::compress(const BlockBytes& block) const {
 }
 
 BlockBytes BdiAlgorithm::decompress(std::span<const std::uint8_t> enc) const {
+  if (enc.empty()) throw DecodeError("empty BDI stream");
   if (is_raw(enc)) return decode_raw(enc);
   const std::uint8_t tag = enc.front();
-  if (tag == kZeros) return zero_block();
+  if (tag == kZeros) {
+    if (enc.size() != 1) throw DecodeError("overlong BDI zero encoding");
+    return zero_block();
+  }
   if (tag == kRep8) {
+    if (enc.size() != 9) throw DecodeError("BDI rep8 length mismatch");
     BlockBytes out{};
     for (std::size_t i = 0; i < kBlockBytes; ++i) out[i] = enc[1 + (i % 8)];
     return out;
   }
 
-  const Shape s = *shape_of(tag);
+  const std::optional<Shape> shape = shape_of(tag);
+  if (!shape) throw DecodeError("invalid BDI tag");
+  const Shape s = *shape;
   const std::size_t n = kBlockBytes / s.base_bytes;
   const std::size_t mask_bytes = (n + 7) / 8;
+  if (enc.size() != 1 + mask_bytes + s.base_bytes + n * s.delta_bytes)
+    throw DecodeError("BDI stream length mismatch");
   std::size_t pos = 1;
   const std::uint8_t* mask = enc.data() + pos;
   pos += mask_bytes;

@@ -8,6 +8,8 @@
 #include <span>
 #include <vector>
 
+#include "compress/decode_error.h"
+
 namespace disco::compress {
 
 class BitWriter {
@@ -41,7 +43,7 @@ class BitReader {
   explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
 
   bool get_bit() {
-    assert(pos_ / 8 < data_.size());
+    if (pos_ / 8 >= data_.size()) throw DecodeError("bit stream truncated");
     const std::uint8_t byte = data_[pos_ / 8];
     const bool bit = (byte >> (7 - (pos_ & 7))) & 1U;
     ++pos_;
@@ -56,6 +58,13 @@ class BitReader {
 
   std::size_t bits_consumed() const { return pos_; }
   bool exhausted() const { return pos_ >= data_.size() * 8; }
+
+  /// Bit-packed streams round up to whole bytes, so a well-formed stream
+  /// leaves at most 7 padding bits. Called by decoders after the final
+  /// symbol to reject overlong streams.
+  void expect_no_trailing_bytes() const {
+    if ((pos_ + 7) / 8 != data_.size()) throw DecodeError("overlong bit stream");
+  }
 
  private:
   std::span<const std::uint8_t> data_;

@@ -97,9 +97,15 @@ Encoded CpackAlgorithm::compress(const BlockBytes& block) const {
 }
 
 BlockBytes CpackAlgorithm::decompress(std::span<const std::uint8_t> enc) const {
+  if (enc.empty()) throw DecodeError("empty C-Pack stream");
   if (is_raw(enc)) return decode_raw(enc);
+  if (enc.front() != kCpackTag) throw DecodeError("invalid C-Pack tag");
   BitReader br(enc.subspan(1));
   Dict dict;
+  const auto dict_word = [&dict](std::size_t idx) {
+    if (idx >= dict.size()) throw DecodeError("invalid C-Pack dictionary index");
+    return dict.at(idx);
+  };
   BlockBytes out{};
   for (std::size_t i = 0; i < kWords; ++i) {
     std::uint32_t w = 0;
@@ -112,25 +118,26 @@ BlockBytes CpackAlgorithm::decompress(std::span<const std::uint8_t> enc) const {
       dict.push(w);
     } else if (b0 && !b1) {  // 10 mmmm
       const auto idx = static_cast<std::size_t>(br.get(4));
-      w = dict.at(idx);
+      w = dict_word(idx);
     } else {  // 11xx four-bit codes
       const bool b2 = br.get_bit();
       const bool b3 = br.get_bit();
       if (!b2 && !b3) {  // 1100 mmxx
         const auto idx = static_cast<std::size_t>(br.get(4));
         const auto low = static_cast<std::uint32_t>(br.get(16));
-        w = (dict.at(idx) & 0xFFFF0000U) | low;
+        w = (dict_word(idx) & 0xFFFF0000U) | low;
         dict.push(w);
       } else if (!b2 && b3) {  // 1101 zzzx
         w = static_cast<std::uint32_t>(br.get(8));
       } else {  // 1110 mmmx
         const auto idx = static_cast<std::size_t>(br.get(4));
         const auto low = static_cast<std::uint32_t>(br.get(8));
-        w = (dict.at(idx) & 0xFFFFFF00U) | low;
+        w = (dict_word(idx) & 0xFFFFFF00U) | low;
       }
     }
     std::memcpy(out.data() + i * 4, &w, 4);
   }
+  br.expect_no_trailing_bytes();
   return out;
 }
 

@@ -1,0 +1,16 @@
+// Recoverable decode failure: thrown by the hardened decoders on truncated,
+// overlong or otherwise malformed streams and converted to std::nullopt by
+// Algorithm::try_decompress. Valid streams never throw, so the lossless
+// round-trip contract of the compressors is unchanged.
+#pragma once
+
+#include <stdexcept>
+
+namespace disco::compress {
+
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const char* what) : std::runtime_error(what) {}
+};
+
+}  // namespace disco::compress

@@ -72,10 +72,17 @@ Encoded DeltaAlgorithm::compress(const BlockBytes& block) const {
 }
 
 BlockBytes DeltaAlgorithm::decompress(std::span<const std::uint8_t> enc) const {
+  if (enc.empty()) throw DecodeError("empty delta stream");
   if (is_raw(enc)) return decode_raw(enc);
-  if (enc.front() == kZeroTag) return zero_block();
+  if (enc.front() == kZeroTag) {
+    if (enc.size() != 1) throw DecodeError("overlong delta zero encoding");
+    return zero_block();
+  }
+  if (enc[0] > 2) throw DecodeError("invalid delta size code");
 
-  const unsigned ds = 1U << (enc[0] & 0x3);
+  const unsigned ds = 1U << enc[0];
+  if (enc.size() != 2 + 8 + 7 * ds)
+    throw DecodeError("delta stream length mismatch");
   const std::uint8_t mask = enc[1];
   std::uint64_t base = 0;
   for (unsigned b = 0; b < 8; ++b)

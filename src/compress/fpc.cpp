@@ -94,7 +94,9 @@ Encoded FpcAlgorithm::compress(const BlockBytes& block) const {
 }
 
 BlockBytes FpcAlgorithm::decompress(std::span<const std::uint8_t> enc) const {
+  if (enc.empty()) throw DecodeError("empty FPC stream");
   if (is_raw(enc)) return decode_raw(enc);
+  if (enc.front() != kFpcTag) throw DecodeError("invalid FPC tag");
   BitReader br(enc.subspan(1));
   BlockBytes out{};
   std::size_t i = 0;
@@ -104,6 +106,7 @@ BlockBytes FpcAlgorithm::decompress(std::span<const std::uint8_t> enc) const {
     switch (prefix) {
       case kZeroRun: {
         const auto run = static_cast<std::size_t>(br.get(3)) + 1;
+        if (i + run > kWords) throw DecodeError("FPC zero run overflows block");
         i += run;  // words already zero-initialized
         continue;
       }
@@ -147,6 +150,7 @@ BlockBytes FpcAlgorithm::decompress(std::span<const std::uint8_t> enc) const {
     std::memcpy(out.data() + i * 4, &w, 4);
     ++i;
   }
+  br.expect_no_trailing_bytes();
   return out;
 }
 
@@ -186,7 +190,9 @@ Encoded SfpcAlgorithm::compress(const BlockBytes& block) const {
 }
 
 BlockBytes SfpcAlgorithm::decompress(std::span<const std::uint8_t> enc) const {
+  if (enc.empty()) throw DecodeError("empty SFPC stream");
   if (is_raw(enc)) return decode_raw(enc);
+  if (enc.front() != kFpcTag) throw DecodeError("invalid SFPC tag");
   BitReader br(enc.subspan(1));
   BlockBytes out{};
   for (std::size_t i = 0; i < kWords; ++i) {
@@ -210,6 +216,7 @@ BlockBytes SfpcAlgorithm::decompress(std::span<const std::uint8_t> enc) const {
     }
     std::memcpy(out.data() + i * 4, &w, 4);
   }
+  br.expect_no_trailing_bytes();
   return out;
 }
 

@@ -73,7 +73,9 @@ Encoded FvcAlgorithm::compress(const BlockBytes& block) const {
 }
 
 BlockBytes FvcAlgorithm::decompress(std::span<const std::uint8_t> enc) const {
+  if (enc.empty()) throw DecodeError("empty FVC stream");
   if (is_raw(enc)) return decode_raw(enc);
+  if (enc.front() != kFvcTag) throw DecodeError("invalid FVC tag");
   BitReader br(enc.subspan(1));
   BlockBytes out{};
   for (std::size_t i = 0; i < kWords; ++i) {
@@ -85,6 +87,7 @@ BlockBytes FvcAlgorithm::decompress(std::span<const std::uint8_t> enc) const {
     }
     std::memcpy(out.data() + i * 4, &w, 4);
   }
+  br.expect_no_trailing_bytes();
   return out;
 }
 

@@ -123,8 +123,7 @@ std::size_t HuffmanCode::decode(BitReader& br) const {
       return sorted_symbols_[first_index_[len] + (code - first)];
     }
   }
-  assert(false && "invalid Huffman stream");
-  return 0;
+  throw DecodeError("invalid Huffman stream");
 }
 
 }  // namespace disco::compress

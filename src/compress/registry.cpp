@@ -21,7 +21,11 @@ std::unique_ptr<Algorithm> make_algorithm(std::string_view name) {
   if (name == "sc2") return std::make_unique<Sc2Algorithm>();
   if (name == "fvc") return std::make_unique<FvcAlgorithm>();
   if (name == "zerobit") return std::make_unique<ZeroBitAlgorithm>();
-  throw std::invalid_argument("unknown compression algorithm: " + std::string(name));
+  std::string msg = "unknown compression algorithm: " + std::string(name) +
+                    " (available:";
+  for (const std::string& n : algorithm_names()) msg += " " + n;
+  msg += ")";
+  throw std::invalid_argument(msg);
 }
 
 std::vector<std::string> algorithm_names() {

@@ -108,16 +108,24 @@ Encoded Sc2Algorithm::compress(const BlockBytes& block) const {
 }
 
 BlockBytes Sc2Algorithm::decompress(std::span<const std::uint8_t> enc) const {
+  if (enc.empty()) throw DecodeError("empty SC2 stream");
   if (is_raw(enc)) return decode_raw(enc);
+  if (enc.front() != kSc2Tag) throw DecodeError("invalid SC2 tag");
   BitReader br(enc.subspan(1));
   BlockBytes out{};
   for (std::size_t i = 0; i < kWords; ++i) {
     const std::size_t symbol = code_.decode(br);
-    const std::uint32_t w = symbol == kEscape
-                                ? static_cast<std::uint32_t>(br.get(32))
-                                : word_of_symbol_[symbol];
+    std::uint32_t w;
+    if (symbol == kEscape) {
+      w = static_cast<std::uint32_t>(br.get(32));
+    } else {
+      if (symbol >= word_of_symbol_.size())
+        throw DecodeError("SC2 symbol out of table range");
+      w = word_of_symbol_[symbol];
+    }
     std::memcpy(out.data() + i * 4, &w, 4);
   }
+  br.expect_no_trailing_bytes();
   return out;
 }
 

@@ -31,7 +31,9 @@ Encoded ZeroBitAlgorithm::compress(const BlockBytes& block) const {
 }
 
 BlockBytes ZeroBitAlgorithm::decompress(std::span<const std::uint8_t> enc) const {
+  if (enc.empty()) throw DecodeError("empty zero-bit stream");
   if (is_raw(enc)) return decode_raw(enc);
+  if (enc.front() != kZeroBitTag) throw DecodeError("invalid zero-bit tag");
   BitReader br(enc.subspan(1));
   BlockBytes out{};
   for (std::size_t w = 0; w < kWords; ++w) {
@@ -41,6 +43,7 @@ BlockBytes ZeroBitAlgorithm::decompress(std::span<const std::uint8_t> enc) const
         out[w * 4 + byte] = static_cast<std::uint8_t>(br.get(8));
     }
   }
+  br.expect_no_trailing_bytes();
   return out;
 }
 

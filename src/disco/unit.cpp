@@ -10,8 +10,10 @@ using noc::VirtualChannel;
 
 DiscoUnit::DiscoUnit(noc::Router& router, const DiscoConfig& cfg,
                      const compress::Algorithm& algo,
-                     compress::LatencyModel latency, noc::NocStats& stats)
-    : router_(router), cfg_(cfg), algo_(algo), latency_(latency), stats_(stats) {
+                     compress::LatencyModel latency, noc::NocStats& stats,
+                     fault::FaultInjector* fi)
+    : router_(router), cfg_(cfg), algo_(algo), latency_(latency), stats_(stats),
+      fi_(fi) {
   engines_.resize(std::max<std::uint32_t>(cfg_.engines_per_router, 1));
   cc_th_ = cfg_.cc_threshold;
   cd_th_ = cfg_.cd_threshold;
@@ -20,13 +22,19 @@ DiscoUnit::DiscoUnit(noc::Router& router, const DiscoConfig& cfg,
 
 bool DiscoUnit::engine_available() const {
   return std::any_of(engines_.begin(), engines_.end(),
-                     [](const Engine& e) { return !e.busy; });
+                     [](const Engine& e) { return !e.busy && !e.quarantined; });
 }
 
 std::size_t DiscoUnit::busy_engines() const {
   return static_cast<std::size_t>(
       std::count_if(engines_.begin(), engines_.end(),
                     [](const Engine& e) { return e.busy; }));
+}
+
+std::size_t DiscoUnit::quarantined_engines() const {
+  return static_cast<std::size_t>(
+      std::count_if(engines_.begin(), engines_.end(),
+                    [](const Engine& e) { return e.quarantined; }));
 }
 
 double DiscoUnit::compression_confidence(const VcId& v) const {
@@ -100,7 +108,7 @@ void DiscoUnit::after_allocation(Cycle now, const std::vector<VcId>& losers) {
   std::size_t next = 0;
   for (Engine& eng : engines_) {
     if (next >= candidates.size()) break;
-    if (!eng.busy) start(eng, candidates[next++], now);
+    if (!eng.busy && !eng.quarantined) start(eng, candidates[next++], now);
   }
 }
 
@@ -117,20 +125,30 @@ void DiscoUnit::start(Engine& eng, const Candidate& cand, Cycle now) {
   eng.awaiting_residency = !ch.whole_packet_resident();
   eng.done_at =
       now + (cand.decompress ? latency_.decomp_cycles : latency_.comp_cycles);
+  if (fault_mode() && fi_->should_stall_engine()) {
+    // Transient engine hang (clock-gating glitch model): the operation
+    // completes late, which widens the abort window.
+    eng.done_at += fi_->config().engine_stall_cycles;
+  }
 
   if (!cand.decompress) {
     eng.result = algo_.compress(pkt->data);
     if (cfg_.separate_flit_compression && eng.awaiting_residency) {
       // Separately compressed flit groups carry concatenation tags so the
       // bubble between groups can be merged away (section 3.3A); model the
-      // tag overhead as two extra bytes.
-      eng.result.bytes.push_back(0);
-      eng.result.bytes.push_back(0);
+      // tag overhead as two extra bytes of framing. They occupy wire space
+      // but are not part of the decodable stream, so they must not be
+      // appended to `bytes` (decoders reject length-altered streams).
+      eng.result.overhead_bytes += 2;
     }
     if (eng.result.size() >= kBlockBytes) {
       // Incompressible: the attempt still occupies the engine, and the
       // packet is marked so the arbitrator does not retry it every cycle.
       pkt->comp_failed = true;
+    } else if (fault_mode()) {
+      // Silent datapath fault in the compressor output; travels undetected
+      // until the ejecting NI's end-to-end verification.
+      fi_->corrupt_engine_output(eng.result.bytes);
     }
   }
 
@@ -177,7 +195,35 @@ void DiscoUnit::complete(Engine& eng, Cycle now) {
   const std::uint32_t old_count = pkt->flit_count();
 
   if (eng.decompress) {
-    pkt->apply_decompression(algo_);
+    if (fault_mode()) {
+      // Hardened decode path: a corrupted stream must not crash the engine.
+      // On failure the packet continues compressed (the ejecting NI detects
+      // and recovers) and the engine books an error towards quarantine.
+      const FaultConfig& fc = fi_->config();
+      const std::optional<BlockBytes> dec = algo_.try_decompress(
+          std::span<const std::uint8_t>(pkt->encoded->bytes));
+      bool valid = dec.has_value();
+      if (valid && pkt->crc_valid &&
+          fault::checksum(std::span<const std::uint8_t>(*dec), fc.crc) !=
+              pkt->payload_crc) {
+        valid = false;
+      }
+      if (!valid) {
+        ++stats_.engine_decode_errors;
+        ++eng.errors;
+        if (!eng.quarantined && eng.errors >= fc.engine_quarantine_threshold) {
+          eng.quarantined = true;
+          ++stats_.engines_quarantined;
+        }
+        ++window_completions_;
+        release(eng);
+        return;
+      }
+      if (*dec != pkt->data) ++stats_.silent_corruptions;  // oracle only
+      pkt->encoded.reset();
+    } else {
+      pkt->apply_decompression(algo_);
+    }
     pkt->decompressed_in_network = true;
     const bool ok = router_.rebuild_head_packet(eng.vc, old_count, now);
     assert(ok && "decompression rebuild must succeed for a resident shadow");
@@ -223,7 +269,11 @@ void DiscoUnit::release(Engine& eng) {
   VirtualChannel& ch = router_.vc(eng.vc);
   ch.engine_busy = false;
   ch.sa_inhibit = false;
+  const std::uint32_t errors = eng.errors;
+  const bool quarantined = eng.quarantined;
   eng = Engine{};
+  eng.errors = errors;
+  eng.quarantined = quarantined;
 }
 
 }  // namespace disco::core

@@ -21,6 +21,7 @@
 
 #include "common/config.h"
 #include "compress/algorithm.h"
+#include "fault/fault.h"
 #include "noc/router.h"
 
 namespace disco::core {
@@ -28,9 +29,11 @@ namespace disco::core {
 class DiscoUnit final : public noc::RouterExtension {
  public:
   /// `latency` is usually algo.latency(); experiments may override it.
+  /// With a fault injector the engines can stall, produce corrupted output,
+  /// and self-quarantine after repeated decode errors.
   DiscoUnit(noc::Router& router, const DiscoConfig& cfg,
             const compress::Algorithm& algo, compress::LatencyModel latency,
-            noc::NocStats& stats);
+            noc::NocStats& stats, fault::FaultInjector* fi = nullptr);
 
   void after_allocation(Cycle now, const std::vector<noc::VcId>& losers) override;
   void on_shadow_departed(const noc::VcId& vc) override;
@@ -41,6 +44,7 @@ class DiscoUnit final : public noc::RouterExtension {
   double decompression_confidence(const noc::VcId& v) const;
 
   std::size_t busy_engines() const;
+  std::size_t quarantined_engines() const;
 
   /// Current (possibly adapted) thresholds.
   double cc_threshold() const { return cc_th_; }
@@ -56,6 +60,9 @@ class DiscoUnit final : public noc::RouterExtension {
     Cycle done_at = 0;
     std::uint32_t old_flit_count = 0;
     compress::Encoded result;  ///< compression output, computed at start
+    // Lifetime fault state: survives release(), see DiscoUnit::release.
+    std::uint32_t errors = 0;  ///< decode/CRC failures observed by this engine
+    bool quarantined = false;  ///< permanently taken out of service
   };
 
   struct Candidate {
@@ -65,6 +72,7 @@ class DiscoUnit final : public noc::RouterExtension {
   };
 
   bool engine_available() const;
+  bool fault_mode() const { return fi_ != nullptr && fi_->enabled(); }
   void start(Engine& eng, const Candidate& cand, Cycle now);
   void complete(Engine& eng, Cycle now);
   void release(Engine& eng);
@@ -75,6 +83,7 @@ class DiscoUnit final : public noc::RouterExtension {
   const compress::Algorithm& algo_;
   compress::LatencyModel latency_;
   noc::NocStats& stats_;
+  fault::FaultInjector* fi_ = nullptr;
   std::vector<Engine> engines_;
 
   // Adaptive-threshold state (extension; see DiscoConfig).

@@ -34,6 +34,12 @@ class Network {
 
   void inject(NodeId n, PacketPtr pkt, Cycle now) { nis_[n]->inject(std::move(pkt), now); }
 
+  /// Attach the system's fault injector to every router and NI.
+  void set_fault_injector(fault::FaultInjector* fi) {
+    for (auto& r : routers_) r->set_fault_injector(fi);
+    for (auto& ni : nis_) ni->set_fault_injector(fi);
+  }
+
   void tick(Cycle now);
 
   /// True when no flit is buffered or in flight anywhere.

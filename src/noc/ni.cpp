@@ -12,9 +12,16 @@ NetworkInterface::NetworkInterface(NodeId node, const NocConfig& cfg,
   vc_taken_.assign(cfg_.num_vcs(), false);
 }
 
-void NetworkInterface::inject(PacketPtr pkt, Cycle now) {
-  Cycle ready = now;
-  if (policy_.compress_on_inject && pkt->has_data && !pkt->compressed()) {
+void NetworkInterface::inject(PacketPtr pkt, Cycle now, Cycle extra_delay) {
+  if (fault_mode() && pkt->has_data && !pkt->crc_valid) {
+    pkt->payload_crc = fault::checksum(
+        std::span<const std::uint8_t>(pkt->data), injector_->config().crc);
+    pkt->crc_valid = true;
+  }
+  Cycle ready = now + extra_delay;
+  // Retransmission clones (retransmit_of set) always travel raw.
+  if (policy_.compress_on_inject && pkt->has_data && !pkt->compressed() &&
+      pkt->retransmit_of == 0) {
     assert(policy_.algo != nullptr);
     compress::Encoded enc = policy_.algo->compress(pkt->data);
     ++stats_.ni_compressions;
@@ -32,6 +39,7 @@ void NetworkInterface::tick(Cycle now) {
   pump_credits(now);
   pump_ejection(now);
   pump_delivery(now);
+  if (fault_mode()) scan_recovery(now);
   if (policy_.compress_when_source_queued) pump_source_compression(now);
   pump_injection(now);
 }
@@ -75,12 +83,44 @@ void NetworkInterface::pump_ejection(Cycle now) {
   if (from_router_ == nullptr) return;
   Flit f;
   while (from_router_->try_pop(now, f)) {
-    const std::uint32_t have = ++reassembly_[f.pkt->id];
-    if (have == f.pkt->flit_count()) {
-      reassembly_.erase(f.pkt->id);
-      finish_ejection(f.pkt, now);
+    if (fault_mode()) {
+      const bool dup = injector_->should_duplicate_flit();
+      process_ejected_flit(f, now);
+      if (dup) process_ejected_flit(f, now);  // exercises the dedup path
+    } else {
+      Reassembly& r = reassembly_[f.pkt->id];
+      if (++r.have == f.pkt->flit_count()) {
+        PacketPtr pkt = f.pkt;
+        reassembly_.erase(pkt->id);
+        finish_ejection(std::move(pkt), now);
+      }
     }
   }
+}
+
+void NetworkInterface::process_ejected_flit(const Flit& f, Cycle now) {
+  const PacketId id = f.pkt->id;
+  if (completed_.count(id) > 0) {
+    ++stats_.duplicate_flits_dropped;
+    return;
+  }
+  Reassembly& r = reassembly_[id];
+  if (r.pkt == nullptr) {
+    r.pkt = f.pkt;
+    r.first = now;
+  }
+  const std::uint64_t bit = 1ULL << (f.seq & 63U);
+  if (r.seen_mask & bit) {
+    ++stats_.duplicate_flits_dropped;
+    return;
+  }
+  r.seen_mask |= bit;
+  ++r.have;
+  if (r.have < f.pkt->flit_count()) return;
+  PacketPtr pkt = r.pkt;
+  reassembly_.erase(id);
+  completed_.insert(id);
+  finish_ejection_fault(std::move(pkt), now);
 }
 
 void NetworkInterface::finish_ejection(PacketPtr pkt, Cycle now) {
@@ -106,6 +146,202 @@ void NetworkInterface::finish_ejection(PacketPtr pkt, Cycle now) {
   delivery_.push_back({std::move(pkt), deliver_at});
 }
 
+void NetworkInterface::finish_ejection_fault(PacketPtr pkt, Cycle now) {
+  const FaultConfig& fc = injector_->config();
+  if (pkt->has_data) {
+    // End-to-end verification: non-throwing decode + payload checksum. The
+    // `dec != pkt->data` comparison is the simulator's oracle — a mismatch
+    // the checksum failed to catch is a silent corruption.
+    ++stats_.crc_checks;
+    bool ok = true;
+    if (pkt->compressed()) {
+      assert(policy_.algo != nullptr);
+      const std::optional<BlockBytes> dec = policy_.algo->try_decompress(
+          std::span<const std::uint8_t>(pkt->encoded->bytes));
+      if (!dec) {
+        ok = false;
+      } else if (pkt->crc_valid &&
+                 fault::checksum(std::span<const std::uint8_t>(*dec), fc.crc) !=
+                     pkt->payload_crc) {
+        ok = false;
+      } else if (*dec != pkt->data) {
+        ++stats_.silent_corruptions;
+      }
+    } else if (pkt->crc_valid &&
+               fault::checksum(std::span<const std::uint8_t>(pkt->data),
+                               fc.crc) != pkt->payload_crc) {
+      ok = false;
+    }
+
+    if (!ok) {
+      ++stats_.corruptions_detected;
+      if (pkt->retransmit_of != 0 && parked_.count(pkt->retransmit_of) == 0) {
+        // A corrupted clone for an already-resolved packet: drop it.
+        ++stats_.duplicate_retransmissions;
+        return;
+      }
+      park_and_nack(std::move(pkt), now);
+      return;
+    }
+
+    if (pkt->retransmit_of != 0) {
+      // A good clone resolves the parked original (or is a late duplicate).
+      const PacketId oid = pkt->retransmit_of;
+      if (parked_.erase(oid) == 0) {
+        ++stats_.duplicate_retransmissions;
+        return;
+      }
+      reassembly_.erase(oid);
+      completed_.insert(oid);
+      forget_clones_of(oid);
+      ++stats_.retransmit_deliveries;
+    } else {
+      // A parked original that completed intact after all (spurious loss
+      // timeout): deliver it; the clone will arrive as a duplicate.
+      parked_.erase(pkt->id);
+    }
+  }
+
+  // Decompression policy — same timing semantics as the non-fault path, but
+  // the decode already happened (and was verified) above.
+  Cycle deliver_at = now;
+  if (pkt->compressed()) {
+    const bool raw_consumer = pkt->dst_unit != UnitKind::L2Bank;
+    const bool must_decompress =
+        policy_.decompress_on_eject_all ||
+        (policy_.decompress_for_raw_consumers && raw_consumer);
+    if (must_decompress) {
+      pkt->encoded.reset();
+      ++stats_.ni_decompressions;
+      stats_.exposed_decomp_cycles += policy_.decomp_cycles;
+      deliver_at += policy_.decomp_cycles;
+    }
+  } else if (pkt->has_data && pkt->was_compressed &&
+             pkt->dst_unit != UnitKind::L2Bank) {
+    ++stats_.hidden_decomp_ops;
+  }
+  delivery_.push_back({std::move(pkt), deliver_at});
+}
+
+void NetworkInterface::park_and_nack(PacketPtr pkt, Cycle now) {
+  const PacketId oid = pkt->retransmit_of != 0 ? pkt->retransmit_of : pkt->id;
+  auto [it, inserted] = parked_.try_emplace(oid);
+  Parked& p = it->second;
+  if (inserted) p.pkt = std::move(pkt);
+  if (p.retries < injector_->config().max_retries) send_nack(oid, p, now);
+}
+
+void NetworkInterface::send_nack(PacketId oid, Parked& parked, Cycle now) {
+  ++parked.retries;
+  parked.last_nack = now;
+  auto nack = std::make_shared<Packet>();
+  nack->id = mint_ctrl_id();
+  nack->src = node_;
+  nack->dst = parked.pkt->src;
+  nack->src_unit = parked.pkt->dst_unit;
+  nack->dst_unit = parked.pkt->src_unit;
+  nack->vnet = VNet::Coherence;
+  nack->addr = parked.pkt->addr;
+  nack->critical = true;
+  nack->nack_for = oid;
+  nack->nack_ref = parked.pkt;
+  nack->retry = parked.retries;
+  nack->created = now;
+  ++stats_.nacks_sent;
+  inject(std::move(nack), now);
+}
+
+void NetworkInterface::handle_nack(const PacketPtr& nack, Cycle now) {
+  const FaultConfig& fc = injector_->config();
+  if (nack->retry > fc.max_retries) return;
+  const PacketPtr& ref = nack->nack_ref;
+  assert(ref != nullptr && "NACK without a retransmit reference");
+  auto clone = std::make_shared<Packet>();
+  clone->id = mint_clone_id();
+  clone->src = ref->src;
+  clone->dst = ref->dst;
+  clone->src_unit = ref->src_unit;
+  clone->dst_unit = ref->dst_unit;
+  clone->vnet = ref->vnet;
+  clone->proto_msg = ref->proto_msg;
+  clone->addr = ref->addr;
+  clone->has_data = ref->has_data;
+  clone->compressible = false;  // retransmit raw for maximum robustness
+  clone->critical = ref->critical;
+  clone->from_dram = ref->from_dram;
+  clone->data = ref->data;
+  clone->retry = nack->retry;
+  clone->retransmit_of = ref->retransmit_of != 0 ? ref->retransmit_of : ref->id;
+  clone->created = now;
+  const Cycle backoff = static_cast<Cycle>(fc.retry_backoff_base)
+                        << (nack->retry - 1);
+  stats_.backoff_cycles += backoff;
+  ++stats_.retransmissions;
+  inject(std::move(clone), now, backoff);
+}
+
+void NetworkInterface::scan_recovery(Cycle now) {
+  const FaultConfig& fc = injector_->config();
+  // Loss timeouts: a reassembly that has been waiting longer than any
+  // congestion plausibly explains lost a flit in the network.
+  for (auto it = reassembly_.begin(); it != reassembly_.end();) {
+    Reassembly& r = it->second;
+    if (r.nacked || r.pkt == nullptr ||
+        now - r.first <= fc.reassembly_timeout_cycles) {
+      ++it;
+      continue;
+    }
+    if (r.pkt->retransmit_of != 0 && parked_.count(r.pkt->retransmit_of) == 0) {
+      // Straggler clone of an already-resolved packet: discard, never
+      // re-park (a re-park would eventually deliver the block twice).
+      ++stats_.duplicate_retransmissions;
+      it = reassembly_.erase(it);
+      continue;
+    }
+    r.nacked = true;
+    ++stats_.flit_loss_timeouts;
+    park_and_nack(r.pkt, now);
+    ++it;
+  }
+  // Parked packets: re-NACK periodically; after max_retries, fall back to
+  // delivering the ground-truth block so the protocol stays live. Fallback
+  // deliveries are the "unrecovered" population of the acceptance criteria.
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    Parked& p = it->second;
+    if (now - p.last_nack <= fc.nack_retry_interval) {
+      ++it;
+      continue;
+    }
+    if (p.retries >= fc.max_retries) {
+      PacketPtr pkt = std::move(p.pkt);
+      const PacketId oid = it->first;
+      it = parked_.erase(it);
+      reassembly_.erase(oid);
+      completed_.insert(oid);
+      forget_clones_of(oid);
+      pkt->encoded.reset();
+      ++stats_.unrecovered_deliveries;
+      delivery_.push_back({std::move(pkt), now});
+      continue;
+    }
+    send_nack(it->first, p, now);
+    ++it;
+  }
+}
+
+void NetworkInterface::forget_clones_of(PacketId oid) {
+  // Partial reassemblies of other clones of the same packet will never
+  // complete usefully; drop them so the NI can go idle. Any of their flits
+  // still in flight re-create an entry that the timeout scan discards.
+  for (auto it = reassembly_.begin(); it != reassembly_.end();) {
+    if (it->second.pkt != nullptr && it->second.pkt->retransmit_of == oid) {
+      it = reassembly_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void NetworkInterface::pump_delivery(Cycle now) {
   for (std::size_t i = 0; i < delivery_.size();) {
     if (delivery_[i].deliver_at > now) {
@@ -121,6 +357,12 @@ void NetworkInterface::pump_delivery(Cycle now) {
     stats_.packet_latency[static_cast<std::size_t>(pkt->vnet)].add(
         static_cast<double>(now - pkt->injected));
     stats_.queueing_cycles.add(pkt->idle_cycles);
+
+    if (pkt->nack_for != 0) {
+      // Recovery control packet: consumed by the NI itself.
+      handle_nack(pkt, now);
+      continue;
+    }
 
     PacketSink* sink = sinks_[static_cast<std::size_t>(pkt->dst_unit)];
     assert(sink != nullptr && "packet delivered to unregistered unit");
@@ -180,7 +422,8 @@ void NetworkInterface::pump_injection(Cycle now) {
 }
 
 bool NetworkInterface::idle() const {
-  if (!reassembly_.empty() || !delivery_.empty()) return false;
+  if (!reassembly_.empty() || !delivery_.empty() || !parked_.empty())
+    return false;
   for (const auto& q : inject_q_)
     if (!q.empty()) return false;
   for (const auto& a : active_)

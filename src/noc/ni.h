@@ -7,6 +7,14 @@
 //            and the consumer needs raw data (core L1, DRAM) — the exposed
 //            penalty the in-network machinery tries to hide
 //   - Ideal: CNC behaviour at zero latency
+//
+// With a fault injector attached (fault-injection mode), the NI also runs the
+// end-to-end integrity layer: it stamps a payload checksum on every injected
+// data packet, verifies every ejected one (non-throwing decode + checksum),
+// and recovers from corruption or flit loss by NACKing the source, which
+// retransmits the block raw with bounded retries and exponential backoff.
+// All of it is gated on the injector so runs without one are byte-identical
+// to a build that never had this layer.
 #pragma once
 
 #include <array>
@@ -14,9 +22,11 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/config.h"
+#include "fault/fault.h"
 #include "noc/link.h"
 #include "noc/noc_stats.h"
 #include "noc/vc.h"
@@ -60,9 +70,13 @@ class NetworkInterface {
     sinks_[static_cast<std::size_t>(unit)] = sink;
   }
 
+  /// Attach the system's fault injector; enables the integrity layer.
+  void set_fault_injector(fault::FaultInjector* fi) { injector_ = fi; }
+
   /// Queue a packet for injection. Applies the injection-side policy
-  /// (possible NI compression latency) before the first flit can leave.
-  void inject(PacketPtr pkt, Cycle now);
+  /// (possible NI compression latency) before the first flit can leave;
+  /// `extra_delay` defers readiness further (retransmission backoff).
+  void inject(PacketPtr pkt, Cycle now, Cycle extra_delay = 0);
 
   void tick(Cycle now);
 
@@ -84,6 +98,21 @@ class NetworkInterface {
     PacketPtr pkt;
     Cycle deliver_at;
   };
+  struct Reassembly {
+    PacketPtr pkt;                  ///< fault mode only
+    std::uint64_t seen_mask = 0;    ///< fault mode only (flit dedup)
+    std::uint32_t have = 0;
+    Cycle first = 0;
+    bool nacked = false;            ///< a loss timeout already fired
+  };
+  /// A corrupted or flit-lossy packet awaiting a raw retransmission.
+  struct Parked {
+    PacketPtr pkt;
+    std::uint32_t retries = 0;
+    Cycle last_nack = 0;
+  };
+
+  bool fault_mode() const { return injector_ != nullptr && injector_->enabled(); }
 
   void pump_credits(Cycle now);
   void pump_ejection(Cycle now);
@@ -92,10 +121,26 @@ class NetworkInterface {
   void pump_source_compression(Cycle now);
   void finish_ejection(PacketPtr pkt, Cycle now);
 
+  // --- integrity / recovery (fault mode only) ---
+  void process_ejected_flit(const Flit& f, Cycle now);
+  void finish_ejection_fault(PacketPtr pkt, Cycle now);
+  void park_and_nack(PacketPtr pkt, Cycle now);
+  void send_nack(PacketId oid, Parked& parked, Cycle now);
+  void handle_nack(const PacketPtr& nack, Cycle now);
+  void scan_recovery(Cycle now);
+  void forget_clones_of(PacketId oid);
+  PacketId mint_ctrl_id() {
+    return (1ULL << 63) | (static_cast<PacketId>(node_) << 40) | ctrl_seq_++;
+  }
+  PacketId mint_clone_id() {
+    return (1ULL << 62) | (static_cast<PacketId>(node_) << 40) | clone_seq_++;
+  }
+
   NodeId node_;
   NocConfig cfg_;
   NiPolicy policy_;
   NocStats& stats_;
+  fault::FaultInjector* injector_ = nullptr;
 
   FlitLink* to_router_ = nullptr;
   FlitLink* from_router_ = nullptr;
@@ -107,9 +152,18 @@ class NetworkInterface {
   std::vector<bool> vc_taken_;
   std::uint32_t rr_vnet_ = 0;
 
-  std::unordered_map<PacketId, std::uint32_t> reassembly_;
+  std::unordered_map<PacketId, Reassembly> reassembly_;
   std::vector<PendingDeliver> delivery_;
   std::array<PacketSink*, 3> sinks_{};
+
+  // Fault mode: packets whose delivery was blocked pending retransmission,
+  // keyed by the *original* packet id (carried through clone chains).
+  std::unordered_map<PacketId, Parked> parked_;
+  // Fault mode: ids already delivered/resolved here, so late or duplicated
+  // flits of the same packet can never re-open reassembly.
+  std::unordered_set<PacketId> completed_;
+  std::uint32_t ctrl_seq_ = 0;
+  std::uint32_t clone_seq_ = 0;
 };
 
 }  // namespace disco::noc

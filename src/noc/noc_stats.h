@@ -32,6 +32,21 @@ struct NocStats {
   std::uint64_t exposed_comp_cycles = 0;
   std::uint64_t hidden_decomp_ops = 0;        ///< decompressions fully overlapped with queuing
 
+  // --- integrity / recovery (fault-injection mode) ---
+  std::uint64_t crc_checks = 0;               ///< end-to-end verifications at ejecting NIs
+  std::uint64_t corruptions_detected = 0;     ///< decode failure or CRC mismatch at an NI
+  std::uint64_t silent_corruptions = 0;       ///< oracle-only: decode+CRC passed, data wrong
+  std::uint64_t flit_loss_timeouts = 0;       ///< reassembly timeouts (dropped body flit)
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t retransmissions = 0;          ///< raw clones injected by sources
+  std::uint64_t retransmit_deliveries = 0;    ///< parked packets resolved by a clone
+  std::uint64_t backoff_cycles = 0;           ///< cycles clones waited in backoff
+  std::uint64_t duplicate_flits_dropped = 0;  ///< dedup hits at ejecting NIs
+  std::uint64_t duplicate_retransmissions = 0;///< clones arriving after resolution
+  std::uint64_t unrecovered_deliveries = 0;   ///< retries exhausted, fallback delivery
+  std::uint64_t engine_decode_errors = 0;     ///< DISCO engine decode/CRC failures
+  std::uint64_t engines_quarantined = 0;
+
   // --- traffic / latency ---
   std::uint64_t packets_injected = 0;
   std::uint64_t packets_ejected = 0;

@@ -50,6 +50,19 @@ struct Packet {
   /// Wire form when travelling compressed.
   std::optional<compress::Encoded> encoded;
 
+  // --- integrity / recovery (fault-injection mode only) ---
+  /// End-to-end checksum of `data`, computed at the injecting NI.
+  std::uint32_t payload_crc = 0;
+  bool crc_valid = false;
+  /// Retry ordinal of a retransmitted clone (0 = original transmission).
+  std::uint32_t retry = 0;
+  /// Nonzero: this packet is a raw retransmission of the given original id.
+  PacketId retransmit_of = 0;
+  /// Nonzero: this is a NACK control packet for the given corrupted id.
+  PacketId nack_for = 0;
+  /// NACK only: the corrupted packet (models the source's retransmit buffer).
+  std::shared_ptr<Packet> nack_ref;
+
   // --- timing bookkeeping (set by NIs / system) ---
   Cycle created = 0;
   Cycle injected = 0;

@@ -220,15 +220,30 @@ void Router::switch_allocate_and_traverse(Cycle now, std::vector<VcId>& losers) 
     ch.buffer.pop_front();
     const bool tail = f.is_tail();
     f.vc_tag = ch.out_vc;
-    assert(out_flit_[out] != nullptr && "ST to unconnected port");
-    out_flit_[out]->push(now, std::move(f));
+
+    bool dropped = false;
+    if (injector_ != nullptr && injector_->enabled()) {
+      // One bit-flip coin per packet per link hop, tossed at the head flit.
+      if (f.seq == 0 && f.pkt->has_data && f.pkt->compressed())
+        injector_->corrupt_link_payload(f.pkt->encoded->bytes);
+      // Only body non-tail flits may be lost: the head keeps routing/VA
+      // state sane downstream and the tail keeps wormhole framing intact.
+      if (f.seq > 0 && !tail && f.pkt->has_data &&
+          injector_->should_drop_flit())
+        dropped = true;
+    }
 
     ++stats_.buffer_reads;
-    ++stats_.crossbar_traversals;
-    ++stats_.link_flits;
-
-    assert(credits_[out][ch.out_vc] > 0);
-    --credits_[out][ch.out_vc];
+    if (!dropped) {
+      assert(out_flit_[out] != nullptr && "ST to unconnected port");
+      out_flit_[out]->push(now, std::move(f));
+      ++stats_.crossbar_traversals;
+      ++stats_.link_flits;
+      assert(credits_[out][ch.out_vc] > 0);
+      --credits_[out][ch.out_vc];
+    }
+    // A dropped flit still frees its input buffer slot, so the upstream
+    // credit must be returned either way (credit conservation).
     send_credit_for_pop(vid, now);
 
     ++ch.sent_flits;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "fault/fault.h"
 #include "noc/link.h"
 #include "noc/noc_stats.h"
 #include "noc/routing.h"
@@ -52,6 +53,9 @@ class Router {
   void connect_out_credit(Port p, CreditLink* link) { out_credit_[idx(p)] = link; }
 
   void set_extension(RouterExtension* ext) { ext_ = ext; }
+
+  /// Attach the system's fault injector (link bit flips / flit drops at ST).
+  void set_fault_injector(fault::FaultInjector* fi) { injector_ = fi; }
 
   void tick(Cycle now);
 
@@ -120,6 +124,7 @@ class Router {
   std::array<std::uint32_t, kNumPorts> sa_out_rr_{};
 
   RouterExtension* ext_ = nullptr;
+  fault::FaultInjector* injector_ = nullptr;
   std::vector<VcId> losers_scratch_;
 };
 

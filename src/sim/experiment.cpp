@@ -42,6 +42,29 @@ CellResult run_cell(const SystemConfig& cfg,
   r.exposed_decomp_cycles = ns.exposed_decomp_cycles;
   r.energy = energy::compute_energy(ns, cs, cfg, opt.measure_cycles,
                                     sys.algorithm().hardware_overhead() / 0.023);
+  if (const fault::FaultInjector* fi = sys.fault_injector()) {
+    const fault::FaultCounters& fc = fi->counters();
+    r.fault.enabled = true;
+    r.fault.link_bit_flips = fc.link_bit_flips;
+    r.fault.llc_bit_flips = fc.llc_bit_flips;
+    r.fault.flit_drops = fc.flit_drops;
+    r.fault.flit_duplicates = fc.flit_duplicates;
+    r.fault.engine_stalls = fc.engine_stalls;
+    r.fault.engine_faults = fc.engine_faults;
+    r.fault.crc_checks = ns.crc_checks;
+    r.fault.corruptions_detected = ns.corruptions_detected;
+    r.fault.silent_corruptions = ns.silent_corruptions;
+    r.fault.flit_loss_timeouts = ns.flit_loss_timeouts;
+    r.fault.nacks_sent = ns.nacks_sent;
+    r.fault.retransmissions = ns.retransmissions;
+    r.fault.retransmit_deliveries = ns.retransmit_deliveries;
+    r.fault.backoff_cycles = ns.backoff_cycles;
+    r.fault.duplicate_flits_dropped = ns.duplicate_flits_dropped;
+    r.fault.duplicate_retransmissions = ns.duplicate_retransmissions;
+    r.fault.unrecovered_deliveries = ns.unrecovered_deliveries;
+    r.fault.engine_decode_errors = ns.engine_decode_errors;
+    r.fault.engines_quarantined = ns.engines_quarantined;
+  }
   return r;
 }
 

@@ -11,6 +11,37 @@
 
 namespace disco::sim {
 
+/// Fault-injection and recovery counters for one cell (all zero — and
+/// `enabled` false — when the cell ran without an injector).
+struct FaultSummary {
+  bool enabled = false;
+  // Injected faults, by site (from the injector).
+  std::uint64_t link_bit_flips = 0;
+  std::uint64_t llc_bit_flips = 0;
+  std::uint64_t flit_drops = 0;
+  std::uint64_t flit_duplicates = 0;
+  std::uint64_t engine_stalls = 0;
+  std::uint64_t engine_faults = 0;
+  // Detection / recovery (from NocStats).
+  std::uint64_t crc_checks = 0;
+  std::uint64_t corruptions_detected = 0;
+  std::uint64_t silent_corruptions = 0;
+  std::uint64_t flit_loss_timeouts = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t retransmit_deliveries = 0;
+  std::uint64_t backoff_cycles = 0;
+  std::uint64_t duplicate_flits_dropped = 0;
+  std::uint64_t duplicate_retransmissions = 0;
+  std::uint64_t unrecovered_deliveries = 0;
+  std::uint64_t engine_decode_errors = 0;
+  std::uint64_t engines_quarantined = 0;
+
+  std::uint64_t payload_faults() const {
+    return link_bit_flips + llc_bit_flips + engine_faults;
+  }
+};
+
 struct CellResult {
   std::string workload;
   std::string algorithm;
@@ -40,6 +71,7 @@ struct CellResult {
   std::uint64_t exposed_decomp_cycles = 0;
 
   energy::EnergyBreakdown energy;
+  FaultSummary fault;
 };
 
 struct RunOptions {

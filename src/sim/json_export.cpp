@@ -34,8 +34,32 @@ void write_fields(std::ostream& os, const CellResult& r) {
      << "\"compressor_dynamic_nj\":" << r.energy.compressor_dynamic_nj << ","
      << "\"compressor_leakage_nj\":" << r.energy.compressor_leakage_nj << ","
      << "\"dram_nj\":" << r.energy.dram_nj << ","
-     << "\"subsystem_nj\":" << r.energy.subsystem_nj() << "}"
-     << "}";
+     << "\"subsystem_nj\":" << r.energy.subsystem_nj() << "}";
+  // Gated so fault-free runs keep byte-identical output to older builds.
+  if (r.fault.enabled) {
+    const FaultSummary& f = r.fault;
+    os << ",\"fault\":{"
+       << "\"link_bit_flips\":" << f.link_bit_flips << ","
+       << "\"llc_bit_flips\":" << f.llc_bit_flips << ","
+       << "\"flit_drops\":" << f.flit_drops << ","
+       << "\"flit_duplicates\":" << f.flit_duplicates << ","
+       << "\"engine_stalls\":" << f.engine_stalls << ","
+       << "\"engine_faults\":" << f.engine_faults << ","
+       << "\"crc_checks\":" << f.crc_checks << ","
+       << "\"corruptions_detected\":" << f.corruptions_detected << ","
+       << "\"silent_corruptions\":" << f.silent_corruptions << ","
+       << "\"flit_loss_timeouts\":" << f.flit_loss_timeouts << ","
+       << "\"nacks_sent\":" << f.nacks_sent << ","
+       << "\"retransmissions\":" << f.retransmissions << ","
+       << "\"retransmit_deliveries\":" << f.retransmit_deliveries << ","
+       << "\"backoff_cycles\":" << f.backoff_cycles << ","
+       << "\"duplicate_flits_dropped\":" << f.duplicate_flits_dropped << ","
+       << "\"duplicate_retransmissions\":" << f.duplicate_retransmissions << ","
+       << "\"unrecovered_deliveries\":" << f.unrecovered_deliveries << ","
+       << "\"engine_decode_errors\":" << f.engine_decode_errors << ","
+       << "\"engines_quarantined\":" << f.engines_quarantined << "}";
+  }
+  os << "}";
 }
 
 }  // namespace

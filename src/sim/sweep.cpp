@@ -157,13 +157,24 @@ CellStatus run_attempt(const SweepCell& cell, std::uint64_t timeout_ms,
 [[noreturn]] void usage(const char* prog, int code) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--shard i/k] [--seed S]\n"
-               "          [--timeout-ms T] [--no-progress] [args...]\n"
+               "          [--timeout-ms T] [--no-progress] [--fault-* ...] [args...]\n"
                "  --threads N     worker threads (default: cores - 1)\n"
                "  --shard i/k     run shard i of k (0 <= i < k); cells are\n"
                "                  sharded by group so comparison rows stay whole\n"
                "  --seed S        base seed; per-cell seed = splitmix64(S, cell)\n"
                "  --timeout-ms T  per-cell wall-clock budget (0 = none)\n"
-               "  --no-progress   suppress the stderr progress line\n",
+               "  --no-progress   suppress the stderr progress line\n"
+               "fault injection (any rate flag enables the injector):\n"
+               "  --fault-rate R         link + LLC payload bit-flip rate\n"
+               "  --fault-link-rate R    per-hop compressed-payload bit-flip rate\n"
+               "  --fault-llc-rate R     compressed-LLC-readout bit-flip rate\n"
+               "  --fault-drop-rate R    per-flit body-flit drop rate\n"
+               "  --fault-dup-rate R     per-flit ejection duplicate rate\n"
+               "  --fault-engine-rate R  DISCO engine output corruption rate\n"
+               "  --fault-stall-rate R   DISCO engine transient stall rate\n"
+               "  --fault-crc M          payload checksum: crc32 (default) | fold8\n"
+               "  --fault-retries N      max retransmission attempts per block\n"
+               "  --fault-backoff B      retransmission backoff base (cycles)\n",
                prog);
   std::exit(code);
 }
@@ -282,6 +293,45 @@ SweepOptions parse_sweep_flags(int argc, char** argv,
       opt.cell_timeout_ms = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--no-progress") {
       opt.progress = false;
+    } else if (arg == "--fault-rate") {
+      const double r = std::strtod(value(), nullptr);
+      opt.fault.link_bit_flip_rate = r;
+      opt.fault.llc_bit_flip_rate = r;
+      opt.fault.enabled = true;
+    } else if (arg == "--fault-link-rate") {
+      opt.fault.link_bit_flip_rate = std::strtod(value(), nullptr);
+      opt.fault.enabled = true;
+    } else if (arg == "--fault-llc-rate") {
+      opt.fault.llc_bit_flip_rate = std::strtod(value(), nullptr);
+      opt.fault.enabled = true;
+    } else if (arg == "--fault-drop-rate") {
+      opt.fault.flit_drop_rate = std::strtod(value(), nullptr);
+      opt.fault.enabled = true;
+    } else if (arg == "--fault-dup-rate") {
+      opt.fault.flit_duplicate_rate = std::strtod(value(), nullptr);
+      opt.fault.enabled = true;
+    } else if (arg == "--fault-engine-rate") {
+      opt.fault.engine_fault_rate = std::strtod(value(), nullptr);
+      opt.fault.enabled = true;
+    } else if (arg == "--fault-stall-rate") {
+      opt.fault.engine_stall_rate = std::strtod(value(), nullptr);
+      opt.fault.enabled = true;
+    } else if (arg == "--fault-crc") {
+      const std::string m = value();
+      if (m == "crc32") {
+        opt.fault.crc = CrcMode::Crc32;
+      } else if (m == "fold8") {
+        opt.fault.crc = CrcMode::Fold8;
+      } else {
+        std::fprintf(stderr, "unknown --fault-crc mode: %s\n", m.c_str());
+        usage(argv[0], 2);
+      }
+    } else if (arg == "--fault-retries") {
+      opt.fault.max_retries =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--fault-backoff") {
+      opt.fault.retry_backoff_base =
+          static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--shard") {
       const char* v = value();
       char* sep = nullptr;

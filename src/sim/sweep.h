@@ -43,6 +43,9 @@ struct SweepOptions {
   /// Progress reporting (cells done / total, ETA) on stderr.
   bool progress = true;
   std::string progress_label = "sweep";
+  /// Fault-injection knobs (--fault-* flags); disabled unless any rate flag
+  /// is given. Benches apply this to their cells via configure_faults().
+  FaultConfig fault;
 };
 
 struct SweepCell {

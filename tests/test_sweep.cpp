@@ -153,6 +153,48 @@ TEST(SweepEngine, RunIndexedCoversEveryIndexExactlyOnce) {
     EXPECT_EQ(hits[i].load(), 1) << "index " << i;
 }
 
+TEST(SweepEngine, ZeroRateFaultInjectionLeavesMetricsUntouched) {
+  // The recovery machinery is a pure overlay: an enabled injector whose
+  // rates are all zero must reproduce the exact metrics of a run without
+  // one. (Timeout knobs are pushed out of reach so the loss scanner
+  // provably never fires on slow-but-intact packets.)
+  SystemConfig cfg;
+  cfg.scheme = Scheme::DISCO;
+  const auto& profile = workload::profile_by_name("canneal");
+  std::vector<SweepCell> cells(2, SweepCell{cfg, profile, tiny_run()});
+  cells[1].cfg.fault.enabled = true;
+  cells[1].cfg.fault.reassembly_timeout_cycles = 1u << 30;
+  cells[1].cfg.fault.nack_retry_interval = 1u << 30;
+  cells[0].group = 0;
+  cells[1].group = 0;  // same seed -> identical traffic
+  const SweepResult r = run_sweep(cells, quiet(2));
+  ASSERT_EQ(r.completed, 2u);
+  const CellResult& plain = r.cells[0].result;
+  const CellResult& fault = r.cells[1].result;
+  EXPECT_EQ(plain.core_ops, fault.core_ops);
+  EXPECT_EQ(plain.l1_misses, fault.l1_misses);
+  EXPECT_EQ(plain.link_flits, fault.link_flits);
+  EXPECT_EQ(plain.avg_nuca_latency, fault.avg_nuca_latency);
+  EXPECT_EQ(plain.avg_packet_latency, fault.avg_packet_latency);
+  EXPECT_EQ(plain.energy.subsystem_nj(), fault.energy.subsystem_nj());
+  // The integrity layer ran (checks) but never intervened (all else zero).
+  EXPECT_FALSE(plain.fault.enabled);
+  EXPECT_TRUE(fault.fault.enabled);
+  EXPECT_GT(fault.fault.crc_checks, 0u);
+  EXPECT_EQ(fault.fault.corruptions_detected, 0u);
+  EXPECT_EQ(fault.fault.silent_corruptions, 0u);
+  EXPECT_EQ(fault.fault.flit_loss_timeouts, 0u);
+  EXPECT_EQ(fault.fault.nacks_sent, 0u);
+  // JSON for the non-fault cell is byte-identical to a pre-fault-layer
+  // build: no "fault" object is emitted.
+  std::ostringstream os;
+  write_json(os, plain);
+  EXPECT_EQ(os.str().find("\"fault\""), std::string::npos);
+  std::ostringstream fs;
+  write_json(fs, fault);
+  EXPECT_NE(fs.str().find("\"fault\""), std::string::npos);
+}
+
 TEST(SweepEngine, EmptySweepIsANoop) {
   const SweepResult r = run_sweep({}, quiet(4));
   EXPECT_TRUE(r.cells.empty());
