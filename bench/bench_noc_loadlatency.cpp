@@ -11,6 +11,8 @@
 #include "compress/registry.h"
 #include "disco/unit.h"
 #include "noc/network.h"
+#include "trace/invariants.h"
+#include "trace/trace.h"
 #include "workload/synthetic.h"
 
 using namespace disco;
@@ -27,7 +29,8 @@ class CountingSink final : public noc::PacketSink {
   double total_latency = 0;
 };
 
-double run_point(FlowControl fc, bool with_disco, double rate) {
+double run_point(FlowControl fc, bool with_disco, double rate,
+                 const TraceConfig& tc, trace::InvariantSummary* inv_out) {
   NocConfig cfg;
   cfg.flow_control = fc;
   noc::NocStats stats;
@@ -55,6 +58,29 @@ double run_point(FlowControl fc, bool with_disco, double rate) {
   for (NodeId n = 0; n < cfg.num_nodes(); ++n)
     net.register_sink(n, UnitKind::Core, &sinks[n]);
 
+  // Network-only runs bypass CmpSystem, so the trace layer is wired here.
+  std::unique_ptr<trace::Tracer> tracer;
+  std::unique_ptr<trace::InvariantChecker> checker;
+  if (tc.active()) {
+    tracer = std::make_unique<trace::Tracer>(tc);
+    if (tc.check_invariants) {
+      trace::InvariantParams p;
+      p.nodes = cfg.num_nodes();
+      p.ports = noc::kNumPorts;
+      p.local_port = static_cast<std::uint32_t>(noc::Port::Local);
+      p.num_vcs = cfg.num_vcs();
+      p.vc_depth = cfg.vc_depth_flits;
+      p.max_hops = (cfg.mesh_cols - 1) + (cfg.mesh_rows - 1);
+      p.block_flits = 1 + static_cast<std::uint32_t>(kBlockBytes / kFlitBytes);
+      p.gamma = dcfg.gamma;
+      p.alpha = dcfg.alpha;
+      p.beta = dcfg.beta;
+      checker = std::make_unique<trace::InvariantChecker>(p);
+      tracer->set_checker(checker.get());
+    }
+    net.set_tracer(tracer.get());
+  }
+
   Rng rng(77);
   workload::TrafficChooser chooser(workload::TrafficPattern::UniformRandom, 4, 3);
   std::uint64_t id = 1;
@@ -68,8 +94,13 @@ double run_point(FlowControl fc, bool with_disco, double rate) {
                  clock);
     }
     net.tick(clock);
+    if (checker) checker->end_of_cycle(clock, net.inflight_flits());
   }
-  for (Cycle i = 0; i < 100000 && !net.quiescent(); ++i) net.tick(++clock);
+  for (Cycle i = 0; i < 100000 && !net.quiescent(); ++i) {
+    net.tick(++clock);
+    if (checker) checker->end_of_cycle(clock, net.inflight_flits());
+  }
+  if (checker && inv_out != nullptr) *inv_out = checker->summary();
 
   double total = 0;
   std::uint64_t n = 0;
@@ -102,11 +133,13 @@ int main(int argc, char** argv) {
       {FlowControl::VirtualCutThrough, true},
   };
   std::vector<double> lat(rates.size() * variants.size(), -1.0);
+  std::vector<trace::InvariantSummary> inv(lat.size());
   sim::run_indexed(
       lat.size(),
       [&](std::size_t i) {
         const Variant& v = variants[i % variants.size()];
-        lat[i] = run_point(v.fc, v.disco, rates[i / variants.size()]);
+        lat[i] = run_point(v.fc, v.disco, rates[i / variants.size()],
+                           sweep_opt.trace, &inv[i]);
       },
       sweep_opt);
 
@@ -122,5 +155,21 @@ int main(int argc, char** argv) {
   std::printf("\nreading: DISCO's compression postpones saturation (its curve "
               "bends later); VCT trades a slightly earlier knee for whole-"
               "packet residency at every hop.\n");
+  if (sweep_opt.trace.check_invariants) {
+    std::uint64_t events = 0, violations = 0;
+    std::string first;
+    for (const auto& s : inv) {
+      events += s.events_checked;
+      violations += s.violations;
+      if (!s.clean() && first.empty()) first = s.first_violation;
+    }
+    std::printf("invariants: %zu points checked, %llu events, %llu "
+                "violations\n",
+                inv.size(), static_cast<unsigned long long>(events),
+                static_cast<unsigned long long>(violations));
+    if (!first.empty())
+      std::printf("invariants: first violation: %s\n", first.c_str());
+    if (violations > 0) return 1;
+  }
   return 0;
 }

@@ -109,11 +109,33 @@ inline std::vector<const sim::CellResult*> grid_row(const sim::SweepResult& r,
   return row;
 }
 
-/// Footer every bench prints: failed/skipped accounting for sharded runs.
+/// Footer every bench prints: failed/skipped accounting for sharded runs,
+/// plus the invariant-checker verdict when --check-invariants was given.
 inline void print_sweep_summary(const sim::SweepResult& r) {
   std::printf("\nsweep: %zu cells ok, %zu failed, %zu skipped (other shards), "
               "%.1fs wall\n",
               r.completed, r.failed, r.skipped, r.wall_ms / 1000.0);
+  std::size_t checked = 0, dirty = 0;
+  std::uint64_t events = 0, violations = 0;
+  std::string first;
+  for (const auto& c : r.cells) {
+    if (!c.ok() || !c.result.invariants.enabled) continue;
+    ++checked;
+    events += c.result.invariants.events_checked;
+    violations += c.result.invariants.violations;
+    if (!c.result.invariants.clean()) {
+      ++dirty;
+      if (first.empty()) first = c.result.invariants.first_violation;
+    }
+  }
+  if (checked > 0) {
+    std::printf("invariants: %zu cells checked, %llu events, %llu violations"
+                " in %zu cells\n",
+                checked, static_cast<unsigned long long>(events),
+                static_cast<unsigned long long>(violations), dirty);
+    if (!first.empty())
+      std::printf("invariants: first violation: %s\n", first.c_str());
+  }
 }
 
 }  // namespace disco::bench

@@ -14,6 +14,8 @@ class DelayedInjector {
  public:
   explicit DelayedInjector(noc::NetworkInterface& ni) : ni_(ni) {}
 
+  noc::NetworkInterface& ni() { return ni_; }
+
   void schedule(noc::PacketPtr pkt, Cycle when) {
     queue_.push(Entry{when, seq_++, std::move(pkt)});
   }

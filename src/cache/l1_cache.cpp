@@ -17,8 +17,8 @@ L1Cache::L1Cache(NodeId node, const L1Config& cfg, noc::NetworkInterface& ni,
 
 void L1Cache::send(Msg m, Addr addr, NodeId dst_node, UnitKind dst_unit,
                    Cycle now, const BlockBytes* data, std::uint32_t extra_delay) {
-  noc::PacketPtr pkt =
-      make_packet(m, addr, node_, UnitKind::Core, dst_node, dst_unit, now);
+  noc::PacketPtr pkt = make_packet(ni_.mint_protocol_id(), m, addr, node_,
+                                   UnitKind::Core, dst_node, dst_unit, now);
   if (data != nullptr) pkt->data = *data;
   out_.schedule(std::move(pkt), now + extra_delay);
 }

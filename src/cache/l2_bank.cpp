@@ -24,8 +24,8 @@ L2Bank::L2Bank(NodeId node, const L2Config& cfg, L2BankPolicy policy,
 void L2Bank::send(Msg m, Addr addr, NodeId dst, UnitKind dst_unit, Cycle now,
                   std::uint32_t delay, const BlockBytes* data,
                   const std::optional<compress::Encoded>* wire) {
-  noc::PacketPtr pkt =
-      make_packet(m, addr, node_, UnitKind::L2Bank, dst, dst_unit, now);
+  noc::PacketPtr pkt = make_packet(out_.ni().mint_protocol_id(), m, addr,
+                                   node_, UnitKind::L2Bank, dst, dst_unit, now);
   if (data != nullptr) pkt->data = *data;
   if (wire != nullptr && wire->has_value()) {
     pkt->encoded = **wire;
@@ -63,6 +63,10 @@ bool L2Bank::set_line_data(L2Line& line, const BlockBytes& data, bool dirty,
   stats_.stored_line_bytes.add(line.stored
                                    ? static_cast<double>(line.stored->size())
                                    : static_cast<double>(kBlockBytes));
+  if (tracer_ != nullptr)
+    tracer_->emit(now, node_, trace::Event::L2Fill, 0, 0, line.addr,
+                  static_cast<std::int64_t>(
+                      line.stored ? line.stored->size() : kBlockBytes));
   return true;
 }
 
@@ -227,6 +231,9 @@ void L2Bank::handle_ack(noc::PacketPtr pkt, Cycle now) {
     std::deque<noc::PacketPtr> queue = std::move(t.queue);
     array_.erase(a);
     ++stats_.l2_evictions;
+    if (tracer_ != nullptr)
+      tracer_->emit(now, node_, trace::Event::L2Evict, 0, 0, a,
+                    dirty ? 1 : 0);
     txns_.erase(it);
     if (dirty)
       send(Msg::MemWB, a, mem_node_of_(a), UnitKind::MemCtrl, now, 1, &data);
@@ -321,6 +328,8 @@ void L2Bank::start_eviction(Txn& t, Cycle now) {
   std::deque<noc::PacketPtr> queue = std::move(t.queue);
   array_.erase(a);
   ++stats_.l2_evictions;
+  if (tracer_ != nullptr)
+    tracer_->emit(now, node_, trace::Event::L2Evict, 0, 0, a, dirty ? 1 : 0);
   txns_.erase(a);
   if (dirty) send(Msg::MemWB, a, mem_node_of_(a), UnitKind::MemCtrl, now, 1, &data);
   for (auto& q : queue) replay_.push_back(std::move(q));
@@ -353,6 +362,10 @@ void L2Bank::advance_space_wait(Txn& t, Cycle now) {
       stats_.stored_line_bytes.add(
           line.stored ? static_cast<double>(line.stored->size())
                       : static_cast<double>(kBlockBytes));
+      if (tracer_ != nullptr)
+        tracer_->emit(now, node_, trace::Event::L2Fill, 0, 0, line.addr,
+                      static_cast<std::int64_t>(
+                          line.stored ? line.stored->size() : kBlockBytes));
       grant(t, now);
       return;
     }
@@ -421,8 +434,9 @@ void L2Bank::grant(Txn& t, Cycle now) {
     ++stats_.bank_decompressions;
   }
   const bool wire = policy_.inject_stored_wire && line->stored.has_value();
-  noc::PacketPtr pkt =
-      make_packet(gm, t.addr, node_, UnitKind::L2Bank, requester, UnitKind::Core, now);
+  noc::PacketPtr pkt = make_packet(out_.ni().mint_protocol_id(), gm, t.addr,
+                                   node_, UnitKind::L2Bank, requester,
+                                   UnitKind::Core, now);
   pkt->data = line->data;
   pkt->from_dram = t.filled_from_mem;
   if (wire) {

@@ -28,6 +28,7 @@
 #include "common/config.h"
 #include "fault/fault.h"
 #include "noc/ni.h"
+#include "trace/trace.h"
 
 namespace disco::cache {
 
@@ -51,6 +52,9 @@ class L2Bank final : public noc::PacketSink {
 
   void deliver(noc::PacketPtr pkt, Cycle now) override;
   void tick(Cycle now);
+
+  /// Attach the system tracer (null = probes compile to a pointer check).
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
 
   bool idle() const;
   std::size_t active_transactions() const { return txns_.size(); }
@@ -134,6 +138,7 @@ class L2Bank final : public noc::PacketSink {
   const compress::Algorithm* algo_;
   std::function<NodeId(Addr)> mem_node_of_;
   CacheStats& stats_;
+  trace::Tracer* tracer_ = nullptr;
 
   SegmentedArray array_;
   DelayedInjector out_;

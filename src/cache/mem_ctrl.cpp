@@ -31,9 +31,10 @@ void MemCtrl::deliver(noc::PacketPtr pkt, Cycle now) {
       const Cycle ready = start + cfg_.access_latency;
       bank_free_at_[bank] = start + cfg_.bank_busy_cycles;
 
-      noc::PacketPtr resp = make_packet(Msg::MemData, pkt->addr, node_,
-                                        UnitKind::MemCtrl, pkt->src,
-                                        UnitKind::L2Bank, now);
+      noc::PacketPtr resp =
+          make_packet(out_.ni().mint_protocol_id(), Msg::MemData, pkt->addr,
+                      node_, UnitKind::MemCtrl, pkt->src, UnitKind::L2Bank,
+                      now);
       resp->data = read_block(pkt->addr);
       out_.schedule(std::move(resp), ready);
       break;

@@ -1,18 +1,12 @@
 #include "cache/protocol.h"
 
-#include <atomic>
-
 namespace disco::cache {
 
-noc::PacketId next_packet_id() {
-  static std::atomic<noc::PacketId> next{1};
-  return next.fetch_add(1, std::memory_order_relaxed);
-}
-
-noc::PacketPtr make_packet(Msg m, Addr addr, NodeId src, UnitKind src_unit,
-                           NodeId dst, UnitKind dst_unit, Cycle now) {
+noc::PacketPtr make_packet(noc::PacketId id, Msg m, Addr addr, NodeId src,
+                           UnitKind src_unit, NodeId dst, UnitKind dst_unit,
+                           Cycle now) {
   auto pkt = std::make_shared<noc::Packet>();
-  pkt->id = next_packet_id();
+  pkt->id = id;
   pkt->src = src;
   pkt->dst = dst;
   pkt->src_unit = src_unit;

@@ -116,13 +116,12 @@ inline bool is_read_critical(Msg m) {
 
 /// Build a protocol packet. Data-bearing messages are marked compressible
 /// (section 3.3C: only response-class payloads are worth compressing).
-noc::PacketPtr make_packet(Msg m, Addr addr, NodeId src, UnitKind src_unit,
-                           NodeId dst, UnitKind dst_unit, Cycle now);
-
-/// Monotonic packet-id source. Thread-safe so independent experiment cells
-/// can run concurrently (ids are only used as reassembly-map keys, so the
-/// interleaving across cells does not affect any metric).
-noc::PacketId next_packet_id();
+/// `id` comes from the originating NI's mint_protocol_id(), so a cell's id
+/// sequence is deterministic regardless of concurrent cells (ids appear in
+/// trace streams, which must be thread-count invariant).
+noc::PacketPtr make_packet(noc::PacketId id, Msg m, Addr addr, NodeId src,
+                           UnitKind src_unit, NodeId dst, UnitKind dst_unit,
+                           Cycle now);
 
 inline Addr block_align(Addr a) { return a & ~static_cast<Addr>(kBlockBytes - 1); }
 

@@ -59,6 +59,26 @@ CmpSystem::CmpSystem(const SystemConfig& cfg,
   network_ = std::make_unique<noc::Network>(cfg_.noc, setup.ni, noc_stats_, factory);
   if (injector_ != nullptr) network_->set_fault_injector(injector_.get());
 
+  if (cfg_.trace.active()) {
+    tracer_ = std::make_unique<trace::Tracer>(cfg_.trace);
+    if (cfg_.trace.check_invariants) {
+      trace::InvariantParams p;
+      p.nodes = n;
+      p.ports = noc::kNumPorts;
+      p.local_port = static_cast<std::uint32_t>(noc::Port::Local);
+      p.num_vcs = cfg_.noc.num_vcs();
+      p.vc_depth = cfg_.noc.vc_depth_flits;
+      p.max_hops = (cfg_.noc.mesh_cols - 1) + (cfg_.noc.mesh_rows - 1);
+      p.block_flits = 1 + static_cast<std::uint32_t>(kBlockBytes / kFlitBytes);
+      p.gamma = cfg_.disco.gamma;
+      p.alpha = cfg_.disco.alpha;
+      p.beta = cfg_.disco.beta;
+      checker_ = std::make_unique<trace::InvariantChecker>(p);
+      tracer_->set_checker(checker_.get());
+    }
+    network_->set_tracer(tracer_.get());
+  }
+
   // Memory controllers, evenly spread over the mesh.
   const std::uint32_t ctrls = std::max(1u, cfg_.mem.num_controllers);
   for (std::uint32_t i = 0; i < ctrls; ++i)
@@ -78,6 +98,7 @@ CmpSystem::CmpSystem(const SystemConfig& cfg,
     l2s_.push_back(std::make_unique<cache::L2Bank>(
         node, cfg_.l2, setup.bank, algo_.get(), cfg_.l2_bank_size_bytes(),
         index_shift, network_->ni(node), mem_node_of, cache_stats_));
+    l2s_.back()->set_tracer(tracer_.get());
     network_->register_sink(node, UnitKind::L2Bank, l2s_.back().get());
   }
 
@@ -206,6 +227,8 @@ void CmpSystem::tick() {
   for (auto& l2 : l2s_) l2->tick(cycle_);
   for (auto& mem : mems_) mem->tick(cycle_);
   for (auto& core : cores_) core->tick(cycle_);
+  if (checker_ != nullptr)
+    checker_->end_of_cycle(cycle_, network_->inflight_flits());
 }
 
 void CmpSystem::run(Cycle cycles) {
@@ -220,6 +243,8 @@ bool CmpSystem::drain(Cycle max_cycles) {
     for (auto& l2 : l2s_) l2->tick(cycle_);
     for (auto& mem : mems_) mem->tick(cycle_);
     // No core ticks: stop injecting new work.
+    if (checker_ != nullptr)
+      checker_->end_of_cycle(cycle_, network_->inflight_flits());
     bool quiet = network_->quiescent();
     for (auto& l1 : l1s_) quiet = quiet && l1->idle();
     for (auto& l2 : l2s_) quiet = quiet && l2->idle();

@@ -17,6 +17,8 @@
 #include "disco/unit.h"
 #include "fault/fault.h"
 #include "noc/network.h"
+#include "trace/invariants.h"
+#include "trace/trace.h"
 #include "workload/profile.h"
 
 namespace disco::cmp {
@@ -48,6 +50,13 @@ class CmpSystem {
   /// Null unless cfg.fault.enabled.
   const fault::FaultInjector* fault_injector() const { return injector_.get(); }
 
+  /// Null unless cfg.trace.active().
+  trace::Tracer* tracer() const { return tracer_.get(); }
+  /// Null unless cfg.trace.check_invariants.
+  const trace::InvariantChecker* invariant_checker() const {
+    return checker_.get();
+  }
+
   noc::Network& network() { return *network_; }
   cache::L1Cache& l1(NodeId n) { return *l1s_[n]; }
   cache::L2Bank& l2(NodeId n) { return *l2s_[n]; }
@@ -72,6 +81,8 @@ class CmpSystem {
   std::unique_ptr<compress::Algorithm> algo_;
   workload::ValueSynthesizer synth_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<trace::Tracer> tracer_;
+  std::unique_ptr<trace::InvariantChecker> checker_;
 
   noc::NocStats noc_stats_;
   cache::CacheStats cache_stats_;

@@ -128,6 +128,29 @@ struct FaultConfig {
   std::uint32_t nack_retry_interval = 1024;     ///< re-NACK a parked block after this long
 };
 
+/// Deterministic event tracing + streaming invariant checking. Off by
+/// default; when inactive no probe fires (a null-pointer check per probe
+/// site) and all outputs are bit-identical to a build without the tracer.
+struct TraceConfig {
+  /// Capture probe events into the ring buffer (canonical text / Chrome
+  /// trace_event export). Independent of `check_invariants`.
+  bool enabled = false;
+  /// Feed every probe event (unfiltered) through the streaming invariant
+  /// checker: credit conservation, flit conservation, VC state legality,
+  /// Eq.1/Eq.2 confidence bounds, shadow-packet lifetime.
+  bool check_invariants = false;
+  /// Comma-separated capture categories (noc, credit, ni, disco, cache);
+  /// empty = all. Applies to the ring only, never to the checker feed.
+  std::string filter;
+  /// Chrome trace_event JSON output file; in sweeps this is a prefix and
+  /// each cell writes <prefix>-cell<i>.json. Empty = no file.
+  std::string out_path;
+  /// Ring capacity in events; the oldest events are overwritten on wrap.
+  std::uint64_t ring_capacity = 1ULL << 20;
+
+  bool active() const { return enabled || check_invariants; }
+};
+
 struct SystemConfig {
   NocConfig noc;
   DiscoConfig disco;
@@ -136,6 +159,7 @@ struct SystemConfig {
   MemConfig mem;
   CompressionTimingConfig timing;
   FaultConfig fault;
+  TraceConfig trace;
   Scheme scheme = Scheme::DISCO;
   std::string algorithm = "delta";  ///< key into compress::Registry
   std::uint64_t seed = 1;

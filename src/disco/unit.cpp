@@ -2,11 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace disco::core {
 
 using noc::VcId;
 using noc::VirtualChannel;
+
+namespace {
+
+/// Confidence values travel in trace events as llround(c * 256) fixed-point.
+std::int64_t conf_fixed(double c) { return std::llround(c * 256.0); }
+
+}  // namespace
 
 DiscoUnit::DiscoUnit(noc::Router& router, const DiscoConfig& cfg,
                      const compress::Algorithm& algo,
@@ -77,6 +85,10 @@ void DiscoUnit::after_allocation(Cycle now, const std::vector<VcId>& losers) {
         continue;
       }
       const double c = compression_confidence(v);
+      if (auto* t = router_.tracer())
+        t->emit(now, router_.id(), trace::Event::ConfidenceComp,
+                static_cast<std::uint8_t>(v.port), v.vc, pkt->id,
+                conf_fixed(c));
       if (c > cc_th_) {
         candidates.push_back({v, /*decompress=*/false, c});
       } else {
@@ -88,6 +100,10 @@ void DiscoUnit::after_allocation(Cycle now, const std::vector<VcId>& losers) {
       // would only waste bandwidth (the RC_Hop rationale of Eq. 2).
       if (!ch.whole_packet_resident()) continue;
       const double c = decompression_confidence(v);
+      if (auto* t = router_.tracer())
+        t->emit(now, router_.id(), trace::Event::ConfidenceDecomp,
+                static_cast<std::uint8_t>(v.port), v.vc, pkt->id,
+                conf_fixed(c));
       if (c > cd_th_) {
         candidates.push_back({v, /*decompress=*/true, c});
       } else {
@@ -155,16 +171,28 @@ void DiscoUnit::start(Engine& eng, const Candidate& cand, Cycle now) {
   ch.engine_busy = true;
   ch.sa_inhibit = !cfg_.non_blocking;
   ++stats_.engine_starts;
+  if (auto* t = router_.tracer())
+    t->emit(now, router_.id(),
+            cand.decompress ? trace::Event::DecompStart
+                            : trace::Event::CompStart,
+            static_cast<std::uint8_t>(cand.vc.port), cand.vc.vc, pkt->id,
+            conf_fixed(cand.confidence));
 }
 
-void DiscoUnit::on_shadow_departed(const VcId& v) {
+void DiscoUnit::on_shadow_departed(Cycle now, const VcId& v) {
   for (Engine& eng : engines_) {
     if (!eng.busy || !(eng.vc == v)) continue;
     // Mis-predicted stall: the port freed up and the scheduler sent the
     // shadow packet; invalidate the flits under process (non-blocking op).
     ++(eng.decompress ? stats_.decompression_aborts : stats_.compression_aborts);
     ++window_aborts_;
-    release(eng);
+    if (auto* t = router_.tracer())
+      t->emit(now, router_.id(),
+              eng.decompress ? trace::Event::DecompAbort
+                             : trace::Event::CompAbort,
+              static_cast<std::uint8_t>(eng.vc.port), eng.vc.vc, eng.pkt->id,
+              0);
+    release(eng, now);
     return;
   }
 }
@@ -178,7 +206,13 @@ void DiscoUnit::tick(Cycle now) {
       // The shadow left between allocation and completion; treat as abort.
       ++(eng.decompress ? stats_.decompression_aborts : stats_.compression_aborts);
       ++window_aborts_;
-      release(eng);
+      if (auto* t = router_.tracer())
+        t->emit(now, router_.id(),
+                eng.decompress ? trace::Event::DecompAbort
+                               : trace::Event::CompAbort,
+                static_cast<std::uint8_t>(eng.vc.port), eng.vc.vc,
+                eng.pkt->id, 0);
+      release(eng, now);
       continue;
     }
     if (eng.awaiting_residency && !ch.whole_packet_resident()) {
@@ -216,7 +250,11 @@ void DiscoUnit::complete(Engine& eng, Cycle now) {
           ++stats_.engines_quarantined;
         }
         ++window_completions_;
-        release(eng);
+        if (auto* t = router_.tracer())
+          t->emit(now, router_.id(), trace::Event::DecompFinish,
+                  static_cast<std::uint8_t>(eng.vc.port), eng.vc.vc, pkt->id,
+                  0);
+        release(eng, now);
         return;
       }
       if (*dec != pkt->data) ++stats_.silent_corruptions;  // oracle only
@@ -238,7 +276,14 @@ void DiscoUnit::complete(Engine& eng, Cycle now) {
   }
   // else: incompressible attempt, nothing to apply.
   ++window_completions_;
-  release(eng);
+  if (auto* t = router_.tracer())
+    t->emit(now, router_.id(),
+            eng.decompress ? trace::Event::DecompFinish
+                           : trace::Event::CompFinish,
+            static_cast<std::uint8_t>(eng.vc.port), eng.vc.vc, pkt->id,
+            static_cast<std::int64_t>(pkt->flit_count()) -
+                static_cast<std::int64_t>(old_count));
+  release(eng, now);
 }
 
 void DiscoUnit::adapt_thresholds(Cycle now) {
@@ -265,10 +310,14 @@ void DiscoUnit::adapt_thresholds(Cycle now) {
   window_aborts_ = window_completions_ = window_rejections_ = 0;
 }
 
-void DiscoUnit::release(Engine& eng) {
+void DiscoUnit::release(Engine& eng, Cycle now) {
   VirtualChannel& ch = router_.vc(eng.vc);
   ch.engine_busy = false;
   ch.sa_inhibit = false;
+  if (auto* t = router_.tracer())
+    t->emit(now, router_.id(), trace::Event::ShadowRetire,
+            static_cast<std::uint8_t>(eng.vc.port), eng.vc.vc,
+            eng.pkt != nullptr ? eng.pkt->id : 0, 0);
   const std::uint32_t errors = eng.errors;
   const bool quarantined = eng.quarantined;
   eng = Engine{};

@@ -36,7 +36,7 @@ class DiscoUnit final : public noc::RouterExtension {
             noc::NocStats& stats, fault::FaultInjector* fi = nullptr);
 
   void after_allocation(Cycle now, const std::vector<noc::VcId>& losers) override;
-  void on_shadow_departed(const noc::VcId& vc) override;
+  void on_shadow_departed(Cycle now, const noc::VcId& vc) override;
   void tick(Cycle now) override;
 
   /// Confidence values (exposed for unit tests and threshold sweeps).
@@ -75,7 +75,7 @@ class DiscoUnit final : public noc::RouterExtension {
   bool fault_mode() const { return fi_ != nullptr && fi_->enabled(); }
   void start(Engine& eng, const Candidate& cand, Cycle now);
   void complete(Engine& eng, Cycle now);
-  void release(Engine& eng);
+  void release(Engine& eng, Cycle now);
   void adapt_thresholds(Cycle now);
 
   noc::Router& router_;

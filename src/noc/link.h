@@ -49,6 +49,7 @@ class FlitLink {
   }
   bool try_pop(Cycle now, Flit& out) { return chan_.try_pop(now, out); }
   bool empty() const { return chan_.empty(); }
+  std::size_t size() const { return chan_.size(); }
 
  private:
   PipelinedChannel<Flit> chan_;

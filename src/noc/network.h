@@ -40,6 +40,22 @@ class Network {
     for (auto& ni : nis_) ni->set_fault_injector(fi);
   }
 
+  /// Attach the system tracer to every router and NI.
+  void set_tracer(trace::Tracer* t) {
+    for (auto& r : routers_) r->set_tracer(t);
+    for (auto& ni : nis_) ni->set_tracer(t);
+  }
+
+  /// Structural flit census: flits buffered in routers plus flits in flight
+  /// on links (the invariant checker reconciles this against the injected /
+  /// ejected event counts every cycle).
+  std::uint64_t inflight_flits() const {
+    std::uint64_t n = 0;
+    for (const auto& r : routers_) n += r->total_buffered_flits();
+    for (const auto& l : flit_links_) n += l->size();
+    return n;
+  }
+
   void tick(Cycle now);
 
   /// True when no flit is buffered or in flight anywhere.

@@ -31,6 +31,9 @@ void NetworkInterface::inject(PacketPtr pkt, Cycle now, Cycle extra_delay) {
     // Incompressible blocks travel raw; the compression attempt still cost
     // the pipeline latency and energy.
   }
+  if (tracer_ != nullptr)
+    tracer_->emit(now, node_, trace::Event::NiInject, 0, 0, pkt->id,
+                  static_cast<std::int64_t>(pkt->vnet));
   inject_q_[static_cast<std::size_t>(pkt->vnet)].push_back(
       {std::move(pkt), ready, now});
 }
@@ -76,6 +79,8 @@ void NetworkInterface::pump_credits(Cycle now) {
   while (credits_in_->try_pop(now, c)) {
     assert(c.vc < vc_credits_.size());
     ++vc_credits_[c.vc];
+    if (tracer_ != nullptr)
+      tracer_->emit(now, node_, trace::Event::NiCreditRecv, 0, c.vc, 0, 0);
   }
 }
 
@@ -83,6 +88,9 @@ void NetworkInterface::pump_ejection(Cycle now) {
   if (from_router_ == nullptr) return;
   Flit f;
   while (from_router_->try_pop(now, f)) {
+    if (tracer_ != nullptr)
+      tracer_->emit(now, node_, trace::Event::NiFlitEject, 0, f.vc_tag,
+                    f.pkt->id, static_cast<std::int64_t>(f.seq));
     if (fault_mode()) {
       const bool dup = injector_->should_duplicate_flit();
       process_ejected_flit(f, now);
@@ -92,6 +100,9 @@ void NetworkInterface::pump_ejection(Cycle now) {
       if (++r.have == f.pkt->flit_count()) {
         PacketPtr pkt = f.pkt;
         reassembly_.erase(pkt->id);
+        if (tracer_ != nullptr)
+          tracer_->emit(now, node_, trace::Event::NiReassembled, 0, 0, pkt->id,
+                        static_cast<std::int64_t>(pkt->flit_count()));
         finish_ejection(std::move(pkt), now);
       }
     }
@@ -120,6 +131,9 @@ void NetworkInterface::process_ejected_flit(const Flit& f, Cycle now) {
   PacketPtr pkt = r.pkt;
   reassembly_.erase(id);
   completed_.insert(id);
+  if (tracer_ != nullptr)
+    tracer_->emit(now, node_, trace::Event::NiReassembled, 0, 0, pkt->id,
+                  static_cast<std::int64_t>(pkt->flit_count()));
   finish_ejection_fault(std::move(pkt), now);
 }
 
@@ -357,6 +371,9 @@ void NetworkInterface::pump_delivery(Cycle now) {
     stats_.packet_latency[static_cast<std::size_t>(pkt->vnet)].add(
         static_cast<double>(now - pkt->injected));
     stats_.queueing_cycles.add(pkt->idle_cycles);
+    if (tracer_ != nullptr)
+      tracer_->emit(now, node_, trace::Event::NiDeliver, 0, 0, pkt->id,
+                    static_cast<std::int64_t>(now - pkt->injected));
 
     if (pkt->nack_for != 0) {
       // Recovery control packet: consumed by the NI itself.
@@ -404,6 +421,9 @@ void NetworkInterface::pump_injection(Cycle now) {
     f.pkt = send.pkt;
     f.seq = send.next_seq;
     f.vc_tag = send.vc;
+    if (tracer_ != nullptr)
+      tracer_->emit(now, node_, trace::Event::NiFlitInject, 0, send.vc,
+                    send.pkt->id, static_cast<std::int64_t>(f.seq));
     to_router_->push(now, std::move(f));
     --vc_credits_[send.vc];
     ++stats_.flits_injected;

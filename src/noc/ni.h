@@ -30,6 +30,7 @@
 #include "noc/link.h"
 #include "noc/noc_stats.h"
 #include "noc/vc.h"
+#include "trace/trace.h"
 
 namespace disco::noc {
 
@@ -72,6 +73,18 @@ class NetworkInterface {
 
   /// Attach the system's fault injector; enables the integrity layer.
   void set_fault_injector(fault::FaultInjector* fi) { injector_ = fi; }
+
+  /// Attach the system tracer (null = probes compile to a pointer check).
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+
+  /// Deterministic id for a protocol packet originating at this node:
+  /// (node << 40) | seq, disjoint from the ctrl (bit 63) and clone (bit 62)
+  /// id spaces. Node-local so a cell's id sequence depends only on its own
+  /// execution, never on concurrent cells — trace streams stay
+  /// thread-count invariant (a process-global counter would not be).
+  PacketId mint_protocol_id() {
+    return (static_cast<PacketId>(node_) << 40) | proto_seq_++;
+  }
 
   /// Queue a packet for injection. Applies the injection-side policy
   /// (possible NI compression latency) before the first flit can leave;
@@ -141,6 +154,7 @@ class NetworkInterface {
   NiPolicy policy_;
   NocStats& stats_;
   fault::FaultInjector* injector_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
 
   FlitLink* to_router_ = nullptr;
   FlitLink* from_router_ = nullptr;
@@ -164,6 +178,7 @@ class NetworkInterface {
   std::unordered_set<PacketId> completed_;
   std::uint32_t ctrl_seq_ = 0;
   std::uint32_t clone_seq_ = 0;
+  PacketId proto_seq_ = 1;  ///< id 0 stays "no packet" in trace events
 };
 
 }  // namespace disco::noc

@@ -68,7 +68,9 @@ struct Packet {
   Cycle injected = 0;
   Cycle ejected = 0;
   std::uint32_t hops = 0;
-  std::uint32_t idle_cycles = 0;  ///< cycles spent losing SA (diagnostics)
+  /// Cycles spent losing SA (diagnostics). 64-bit: long-lived packets on a
+  /// saturated network accumulate these across the whole run.
+  std::uint64_t idle_cycles = 0;
 
   bool compressed() const { return encoded.has_value(); }
 

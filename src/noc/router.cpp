@@ -27,7 +27,7 @@ Router::Router(NodeId id, const MeshShape& mesh, const NocConfig& cfg, NocStats&
 void Router::tick(Cycle now) {
   receive_credits(now);
   receive_flits(now);
-  route_compute();
+  route_compute(now);
   vc_allocate(now);
 
   losers_scratch_.clear();
@@ -46,6 +46,9 @@ void Router::receive_credits(Cycle now) {
     while (in_credit_[p]->try_pop(now, c)) {
       assert(c.vc < credits_[p].size());
       ++credits_[p][c.vc];
+      if (tracer_ != nullptr)
+        tracer_->emit(now, id_, trace::Event::CreditRecv,
+                      static_cast<std::uint8_t>(p), c.vc, 0, 0);
     }
   }
 }
@@ -57,21 +60,31 @@ void Router::receive_flits(Cycle now) {
     while (in_flit_[p]->try_pop(now, f)) {
       assert(f.vc_tag < input_[p].size());
       f.arrival = now;
+      if (tracer_ != nullptr)
+        tracer_->emit(now, id_, trace::Event::BufferWrite,
+                      static_cast<std::uint8_t>(p), f.vc_tag, f.pkt->id,
+                      static_cast<std::int64_t>(f.seq));
       input_[p][f.vc_tag].buffer.push_back(std::move(f));
       ++stats_.buffer_writes;
     }
   }
 }
 
-void Router::route_compute() {
+void Router::route_compute(Cycle now) {
   for (std::size_t p = 0; p < kNumPorts; ++p) {
-    for (auto& ch : input_[p]) {
+    for (std::uint32_t v = 0; v < input_[p].size(); ++v) {
+      auto& ch = input_[p][v];
       if (ch.stage != VcStage::Idle || ch.buffer.empty()) continue;
       const Flit& head = ch.buffer.front();
       assert(head.is_head() && "mid-packet flit at VC head in Idle stage");
       ch.out_port = xy_route(mesh_, id_, head.pkt->dst);
       ch.head_arrival = head.arrival;
       ch.stage = VcStage::VcAlloc;
+      if (tracer_ != nullptr)
+        tracer_->emit(now, id_, trace::Event::RouteCompute,
+                      static_cast<std::uint8_t>(p),
+                      static_cast<std::uint8_t>(v), head.pkt->id,
+                      static_cast<std::int64_t>(idx(ch.out_port)));
     }
   }
 }
@@ -116,6 +129,11 @@ void Router::vc_allocate(Cycle now) {
         ch.out_vc = static_cast<std::uint8_t>(ov);
         ch.stage = VcStage::Active;
         granted_any = true;
+        if (tracer_ != nullptr)
+          tracer_->emit(now, id_, trace::Event::VcAllocGrant,
+                        static_cast<std::uint8_t>(r.port), r.vc,
+                        ch.head_packet()->id,
+                        static_cast<std::int64_t>((out << 8) | ov));
         break;
       }
     }
@@ -236,6 +254,12 @@ void Router::switch_allocate_and_traverse(Cycle now, std::vector<VcId>& losers) 
     ++stats_.buffer_reads;
     if (!dropped) {
       assert(out_flit_[out] != nullptr && "ST to unconnected port");
+      if (tracer_ != nullptr)
+        tracer_->emit(now, id_, trace::Event::SwitchTraversal,
+                      static_cast<std::uint8_t>(p),
+                      static_cast<std::uint8_t>(chosen_vc[p]), f.pkt->id,
+                      trace::st_arg(tail, static_cast<std::uint8_t>(out),
+                                    ch.out_vc, f.seq));
       out_flit_[out]->push(now, std::move(f));
       ++stats_.crossbar_traversals;
       ++stats_.link_flits;
@@ -248,7 +272,7 @@ void Router::switch_allocate_and_traverse(Cycle now, std::vector<VcId>& losers) 
 
     ++ch.sent_flits;
     if (ch.engine_busy && ch.sent_flits == 1 && ext_ != nullptr) {
-      ext_->on_shadow_departed(vid);
+      ext_->on_shadow_departed(now, vid);
     }
     if (tail) {
       out_vc_taken_[out][ch.out_vc] = false;
@@ -276,6 +300,9 @@ void Router::send_credit_for_pop(const VcId& v, Cycle now) {
   if (out_credit_[idx(v.port)] == nullptr) return;
   out_credit_[idx(v.port)]->push(now, Credit{v.vc});
   ++stats_.credits_sent;
+  if (tracer_ != nullptr)
+    tracer_->emit(now, id_, trace::Event::CreditSend,
+                  static_cast<std::uint8_t>(v.port), v.vc, 0, 0);
 }
 
 std::uint32_t Router::downstream_occupancy(Port out) const {
@@ -318,6 +345,11 @@ bool Router::rebuild_head_packet(const VcId& v, std::uint32_t old_flit_count, Cy
     ch.buffer.push_front(std::move(f));
   }
 
+  if (tracer_ != nullptr)
+    tracer_->emit(now, id_, trace::Event::Rebuild,
+                  static_cast<std::uint8_t>(v.port), v.vc, pkt->id,
+                  static_cast<std::int64_t>(new_count) -
+                      static_cast<std::int64_t>(old_flit_count));
   if (new_count < old_flit_count) {
     // Compression shrank the packet: retrieve the saved buffer space by
     // sending bonus credits upstream (paper section 3.2 step 3).

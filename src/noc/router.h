@@ -20,6 +20,7 @@
 #include "noc/noc_stats.h"
 #include "noc/routing.h"
 #include "noc/vc.h"
+#include "trace/trace.h"
 
 namespace disco::noc {
 
@@ -33,7 +34,7 @@ class RouterExtension {
   /// After VA/SA: `losers` are VCs that requested allocation and lost.
   virtual void after_allocation(Cycle now, const std::vector<VcId>& losers) = 0;
   /// A shadow packet's first flit departed while an engine held its copy.
-  virtual void on_shadow_departed(const VcId& vc) = 0;
+  virtual void on_shadow_departed(Cycle now, const VcId& vc) = 0;
   /// Advance engines (completions applied here).
   virtual void tick(Cycle now) = 0;
 };
@@ -56,6 +57,10 @@ class Router {
 
   /// Attach the system's fault injector (link bit flips / flit drops at ST).
   void set_fault_injector(fault::FaultInjector* fi) { injector_ = fi; }
+
+  /// Attach the system tracer (null = probes compile to a pointer check).
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+  trace::Tracer* tracer() const { return tracer_; }
 
   void tick(Cycle now);
 
@@ -95,7 +100,7 @@ class Router {
 
   void receive_credits(Cycle now);
   void receive_flits(Cycle now);
-  void route_compute();
+  void route_compute(Cycle now);
   void vc_allocate(Cycle now);
   void switch_allocate_and_traverse(Cycle now, std::vector<VcId>& losers);
   void send_credit_for_pop(const VcId& v, Cycle now);
@@ -125,6 +130,7 @@ class Router {
 
   RouterExtension* ext_ = nullptr;
   fault::FaultInjector* injector_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
   std::vector<VcId> losers_scratch_;
 };
 

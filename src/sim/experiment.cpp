@@ -1,6 +1,8 @@
 #include "sim/experiment.h"
 
 #include <cmath>
+#include <fstream>
+#include <sstream>
 
 namespace disco::sim {
 
@@ -64,6 +66,17 @@ CellResult run_cell(const SystemConfig& cfg,
     r.fault.unrecovered_deliveries = ns.unrecovered_deliveries;
     r.fault.engine_decode_errors = ns.engine_decode_errors;
     r.fault.engines_quarantined = ns.engines_quarantined;
+  }
+  if (const trace::InvariantChecker* chk = sys.invariant_checker())
+    r.invariants = chk->summary();
+  if (trace::Tracer* t = sys.tracer(); t != nullptr && cfg.trace.enabled) {
+    std::ostringstream os;
+    t->write_canonical(os);
+    r.trace_text = os.str();
+    if (!cfg.trace.out_path.empty()) {
+      std::ofstream f(cfg.trace.out_path);
+      if (f) t->write_chrome_json(f);
+    }
   }
   return r;
 }

@@ -72,6 +72,11 @@ struct CellResult {
 
   energy::EnergyBreakdown energy;
   FaultSummary fault;
+
+  /// Invariant-checker verdict (enabled=false when checking was off).
+  trace::InvariantSummary invariants;
+  /// Canonical trace text of the measurement phase (empty unless tracing).
+  std::string trace_text;
 };
 
 struct RunOptions {

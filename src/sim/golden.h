@@ -1,0 +1,37 @@
+// Golden-trace scenario library. Each scenario is a small, fully
+// deterministic simulation (fixed seeds, fixed injection schedule, bounded
+// drain) that runs with tracing and invariant checking on and returns the
+// canonical trace text. The checked-in files under tests/golden/ are the
+// reference outputs; tools/trace_record regenerates them and
+// tools/trace_diff + tests/test_trace_golden.cpp compare against them, so
+// any change to router arbitration, credit flow, DISCO scheduling or cache
+// fill order shows up as a reviewable trace diff instead of a silent
+// behavior change.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/invariants.h"
+
+namespace disco::sim {
+
+struct GoldenRun {
+  std::string trace;                    ///< canonical one-event-per-line text
+  trace::InvariantSummary invariants;   ///< always enabled for scenarios
+};
+
+struct GoldenScenario {
+  const char* name;
+  const char* description;
+  GoldenRun (*run)();
+};
+
+/// All registered scenarios, in a fixed order.
+const std::vector<GoldenScenario>& golden_scenarios();
+
+/// Run the scenario with the given name; throws std::invalid_argument
+/// (listing valid names) if it does not exist.
+GoldenRun run_golden_scenario(const std::string& name);
+
+}  // namespace disco::sim

@@ -59,6 +59,22 @@ void write_fields(std::ostream& os, const CellResult& r) {
        << "\"engine_decode_errors\":" << f.engine_decode_errors << ","
        << "\"engines_quarantined\":" << f.engines_quarantined << "}";
   }
+  // Same gating rule: only runs with --check-invariants carry the object.
+  if (r.invariants.enabled) {
+    const trace::InvariantSummary& v = r.invariants;
+    os << ",\"invariants\":{"
+       << "\"events_checked\":" << v.events_checked << ","
+       << "\"cycles_checked\":" << v.cycles_checked << ","
+       << "\"violations\":" << v.violations << ","
+       << "\"credit_violations\":" << v.credit_violations << ","
+       << "\"conservation_violations\":" << v.conservation_violations << ","
+       << "\"vc_state_violations\":" << v.vc_state_violations << ","
+       << "\"shadow_violations\":" << v.shadow_violations << ","
+       << "\"confidence_violations\":" << v.confidence_violations << ","
+       << "\"eject_violations\":" << v.eject_violations << ","
+       << "\"cache_violations\":" << v.cache_violations << ","
+       << "\"first_violation\":\"" << v.first_violation << "\"}";
+  }
   os << "}";
 }
 

@@ -9,9 +9,11 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "common/rng.h"
+#include "trace/trace.h"
 
 namespace disco::sim {
 namespace {
@@ -164,6 +166,12 @@ CellStatus run_attempt(const SweepCell& cell, std::uint64_t timeout_ms,
                "  --seed S        base seed; per-cell seed = splitmix64(S, cell)\n"
                "  --timeout-ms T  per-cell wall-clock budget (0 = none)\n"
                "  --no-progress   suppress the stderr progress line\n"
+               "tracing / invariants:\n"
+               "  --trace PREFIX       capture probe events; writes Chrome JSON\n"
+               "                       to <PREFIX>-cell<i>.json (Perfetto)\n"
+               "  --trace-filter CATS  comma list: noc,credit,ni,disco,cache\n"
+               "  --check-invariants   stream every event through the runtime\n"
+               "                       invariant checker (summary per cell)\n"
                "fault injection (any rate flag enables the injector):\n"
                "  --fault-rate R         link + LLC payload bit-flip rate\n"
                "  --fault-link-rate R    per-hop compressed-payload bit-flip rate\n"
@@ -222,6 +230,12 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
     if (opt.reseed_cells)
       c.cfg.seed = splitmix64(opt.base_seed,
                               static_cast<std::uint64_t>(c.seed_group));
+    if (opt.trace.active()) {
+      c.cfg.trace = opt.trace;
+      if (!opt.trace.out_path.empty())
+        c.cfg.trace.out_path =
+            opt.trace.out_path + "-cell" + std::to_string(i) + ".json";
+    }
     res.cells[i].index = i;
     res.cells[i].group = c.group;
     if (c.group % shards == opt.shard_index % shards) {
@@ -293,6 +307,20 @@ SweepOptions parse_sweep_flags(int argc, char** argv,
       opt.cell_timeout_ms = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--no-progress") {
       opt.progress = false;
+    } else if (arg == "--trace") {
+      opt.trace.out_path = value();
+      opt.trace.enabled = true;
+    } else if (arg == "--trace-filter") {
+      opt.trace.filter = value();
+      opt.trace.enabled = true;
+      try {
+        trace::category_mask(opt.trace.filter);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        usage(argv[0], 2);
+      }
+    } else if (arg == "--check-invariants") {
+      opt.trace.check_invariants = true;
     } else if (arg == "--fault-rate") {
       const double r = std::strtod(value(), nullptr);
       opt.fault.link_bit_flip_rate = r;

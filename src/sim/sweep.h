@@ -46,6 +46,10 @@ struct SweepOptions {
   /// Fault-injection knobs (--fault-* flags); disabled unless any rate flag
   /// is given. Benches apply this to their cells via configure_faults().
   FaultConfig fault;
+  /// Tracing / invariant-checking knobs (--trace, --trace-filter,
+  /// --check-invariants). run_sweep applies them to every cell; out_path is
+  /// expanded to <prefix>-cell<i>.json per cell.
+  TraceConfig trace;
 };
 
 struct SweepCell {

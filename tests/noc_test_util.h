@@ -1,60 +1,5 @@
-// Shared helpers for NoC-level tests: a collecting sink and packet factory.
+// Thin alias kept for existing includes; the fixtures themselves moved to
+// tests/sim_fixture.h (shared with the cache-level tests).
 #pragma once
 
-#include <map>
-#include <vector>
-
-#include <cstring>
-
-#include "common/rng.h"
-#include "noc/network.h"
-
-namespace disco::noc::testutil {
-
-class CollectingSink final : public PacketSink {
- public:
-  void deliver(PacketPtr pkt, Cycle now) override {
-    arrivals.push_back({std::move(pkt), now});
-  }
-  struct Arrival {
-    PacketPtr pkt;
-    Cycle when;
-  };
-  std::vector<Arrival> arrivals;
-};
-
-inline PacketPtr make_packet(NodeId src, NodeId dst, VNet vnet, bool with_data,
-                             Cycle now, std::uint64_t id) {
-  auto pkt = std::make_shared<Packet>();
-  pkt->id = id;
-  pkt->src = src;
-  pkt->dst = dst;
-  pkt->src_unit = UnitKind::Core;
-  pkt->dst_unit = UnitKind::Core;
-  pkt->vnet = vnet;
-  pkt->created = now;
-  pkt->has_data = with_data;
-  pkt->compressible = with_data;
-  if (with_data) {
-    // Compressible payload: base + small deltas.
-    Rng rng(id);
-    const std::uint64_t base = rng.next_u64();
-    for (std::size_t f = 0; f < kWordsPerBlock; ++f) {
-      const std::uint64_t v = base + rng.next_below(100);
-      std::memcpy(pkt->data.data() + f * 8, &v, 8);
-    }
-  }
-  return pkt;
-}
-
-/// Tick until the network is quiescent; returns false on timeout.
-inline bool run_until_quiescent(Network& net, Cycle& clock, Cycle max_cycles) {
-  for (Cycle i = 0; i < max_cycles; ++i) {
-    ++clock;
-    net.tick(clock);
-    if (net.quiescent()) return true;
-  }
-  return false;
-}
-
-}  // namespace disco::noc::testutil
+#include "sim_fixture.h"

@@ -1,0 +1,169 @@
+// Property-style differential tests over every registered compression
+// algorithm: exact roundtrip on structured block generators, agreement
+// between the throwing and non-throwing decode paths, the raw-fallback
+// size bound, and consistency between Encoded's byte accounting (payload +
+// overhead_bytes) and the flit count the NoC would put on the wire.
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/registry.h"
+#include "noc/packet.h"
+
+namespace disco {
+namespace {
+
+using compress::Encoded;
+
+void put_word(BlockBytes& b, std::size_t i, std::uint64_t v) {
+  std::memcpy(b.data() + i * 8, &v, 8);
+}
+
+/// Mostly-zero blocks with short nonzero runs (zerobit/fpc territory).
+BlockBytes gen_zero_runs(Rng& rng) {
+  BlockBytes b{};
+  const std::size_t run_start = rng.next_below(kBlockBytes);
+  const std::size_t run_len = rng.next_below(9);
+  for (std::size_t i = 0; i < run_len && run_start + i < kBlockBytes; ++i)
+    b[run_start + i] = static_cast<std::uint8_t>(1 + rng.next_below(255));
+  return b;
+}
+
+/// Base-plus-small-delta words (bdi/delta territory).
+BlockBytes gen_narrow_deltas(Rng& rng) {
+  BlockBytes b{};
+  const std::uint64_t base = rng.next_u64();
+  for (std::size_t w = 0; w < kWordsPerBlock; ++w)
+    put_word(b, w, base + rng.next_below(128));
+  return b;
+}
+
+/// Double-precision values sharing an exponent neighborhood with noisy
+/// mantissa low bits (fpc/sfpc territory).
+BlockBytes gen_fp_like(Rng& rng) {
+  BlockBytes b{};
+  for (std::size_t w = 0; w < kWordsPerBlock; ++w) {
+    const double base = 1000.0 + static_cast<double>(rng.next_below(100));
+    const double v = base + static_cast<double>(rng.next_below(1024)) / 1024.0;
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    put_word(b, w, bits);
+  }
+  return b;
+}
+
+/// Incompressible noise: must take the raw fallback without corruption.
+BlockBytes gen_random(Rng& rng) {
+  BlockBytes b{};
+  for (std::size_t w = 0; w < kWordsPerBlock; ++w)
+    put_word(b, w, rng.next_u64());
+  return b;
+}
+
+struct Generator {
+  const char* name;
+  BlockBytes (*gen)(Rng&);
+};
+
+const Generator kGenerators[] = {
+    {"zero_runs", &gen_zero_runs},
+    {"narrow_deltas", &gen_narrow_deltas},
+    {"fp_like", &gen_fp_like},
+    {"random", &gen_random},
+};
+
+constexpr int kBlocksPerGenerator = 64;
+
+/// Flit count the NoC computes for a data packet carrying `payload` bytes
+/// (head flit carries the first kFlitBytes; see Packet::flit_count).
+std::uint32_t wire_flits(std::size_t payload) {
+  if (payload <= kFlitBytes) return 1;
+  return 1 + static_cast<std::uint32_t>((payload - 1) / kFlitBytes);
+}
+
+class CompressProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CompressProperty, RoundTripIsExactOnStructuredBlocks) {
+  const auto algo = compress::make_algorithm(GetParam());
+  for (const Generator& g : kGenerators) {
+    Rng rng(splitmix64(std::hash<std::string>{}(GetParam())) ^
+            splitmix64(std::hash<std::string>{}(g.name)));
+    for (int i = 0; i < kBlocksPerGenerator; ++i) {
+      const BlockBytes block = g.gen(rng);
+      const Encoded enc = algo->compress(block);
+      // Raw-fallback contract: never larger than tag byte + raw block.
+      ASSERT_LE(enc.size(), kBlockBytes + 1)
+          << GetParam() << "/" << g.name << " block " << i;
+      const BlockBytes back =
+          algo->decompress(std::span<const std::uint8_t>(enc.bytes));
+      ASSERT_EQ(back, block)
+          << GetParam() << "/" << g.name << " roundtrip broke at block " << i;
+    }
+  }
+}
+
+TEST_P(CompressProperty, TryDecompressAgreesWithThrowingPath) {
+  const auto algo = compress::make_algorithm(GetParam());
+  for (const Generator& g : kGenerators) {
+    Rng rng(splitmix64(std::hash<std::string>{}(GetParam())) ^
+            splitmix64(std::hash<std::string>{}(g.name)) ^ 0x9E3779B9u);
+    for (int i = 0; i < kBlocksPerGenerator; ++i) {
+      const BlockBytes block = g.gen(rng);
+      const Encoded enc = algo->compress(block);
+      const auto maybe =
+          algo->try_decompress(std::span<const std::uint8_t>(enc.bytes));
+      ASSERT_TRUE(maybe.has_value())
+          << GetParam() << "/" << g.name << " rejected its own output";
+      ASSERT_EQ(*maybe, block) << GetParam() << "/" << g.name;
+    }
+  }
+  // Malformed inputs must come back nullopt, never throw or crash.
+  EXPECT_FALSE(algo->try_decompress({}).has_value()) << GetParam();
+}
+
+TEST_P(CompressProperty, EncodedSizeMatchesWireFlitCount) {
+  const auto algo = compress::make_algorithm(GetParam());
+  for (const Generator& g : kGenerators) {
+    Rng rng(splitmix64(std::hash<std::string>{}(GetParam())) ^
+            splitmix64(std::hash<std::string>{}(g.name)) ^ 0xDEADBEEFu);
+    for (int i = 0; i < kBlocksPerGenerator; ++i) {
+      const BlockBytes block = g.gen(rng);
+      Encoded enc = algo->compress(block);
+      const std::size_t total = enc.size();
+      ASSERT_EQ(total, enc.bytes.size() + enc.overhead_bytes);
+
+      noc::Packet pkt;
+      pkt.has_data = true;
+      std::memcpy(pkt.data.data(), block.data(), kBlockBytes);
+      const std::uint32_t raw_flits = pkt.flit_count();
+      EXPECT_EQ(raw_flits, wire_flits(kBlockBytes));
+
+      pkt.apply_compression(std::move(enc));
+      // The packet's wire footprint must follow the encoder's byte
+      // accounting — overhead bytes included — and never exceed the raw
+      // footprint by more than the single fallback tag flit.
+      EXPECT_EQ(pkt.payload_bytes(), total);
+      EXPECT_EQ(pkt.flit_count(), wire_flits(total));
+      EXPECT_LE(pkt.flit_count(), raw_flits + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CompressProperty,
+                         ::testing::ValuesIn(compress::algorithm_names()),
+                         [](const ::testing::TestParamInfo<std::string>& p) {
+                           return p.param;
+                         });
+
+TEST(CompressPropertySuite, CoversEveryRegisteredAlgorithm) {
+  EXPECT_EQ(compress::algorithm_names().size(), 8u)
+      << "new algorithm registered: confirm the property suite picks it up "
+         "(it iterates algorithm_names()) and update this count";
+}
+
+}  // namespace
+}  // namespace disco

@@ -1,0 +1,68 @@
+// Overflow regression tests for cycle-indexed statistics. Long saturated
+// runs accumulate per-packet idle cycles and latency samples far past
+// 2^32; every counter on that path must be 64-bit. Packet::idle_cycles was
+// the one 32-bit holdout (it silently wrapped); these tests pin the widened
+// types so a refactor cannot narrow them again.
+#include <cstdint>
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "noc/noc_stats.h"
+#include "noc/packet.h"
+
+namespace disco {
+namespace {
+
+TEST(StatsOverflow, PacketIdleCyclesIsSixtyFourBit) {
+  static_assert(std::is_same_v<decltype(noc::Packet::idle_cycles),
+                               std::uint64_t>,
+                "Packet::idle_cycles must not be narrowed back to 32 bits");
+  noc::Packet p;
+  p.idle_cycles = (1ULL << 33) + 5;  // would wrap to 5 as uint32_t
+  p.idle_cycles += 1ULL << 33;
+  EXPECT_EQ(p.idle_cycles, (1ULL << 34) + 5);
+}
+
+TEST(StatsOverflow, HistogramTakesBeyond32BitSamples) {
+  static_assert(std::is_same_v<decltype(std::declval<const Histogram&>()
+                                            .bucket(0)),
+                               std::uint64_t>);
+  Histogram h;
+  const std::uint64_t big = (1ULL << 40) + 123;
+  h.add(big);
+  h.add(3);
+  EXPECT_EQ(h.summary().count(), 2u);
+  EXPECT_DOUBLE_EQ(h.summary().max(), static_cast<double>(big));
+  // The large sample clamps into the top bucket; a 32-bit wrap would have
+  // dropped it into a low bucket (2^40 + 123 wraps to 123, bucket 7).
+  EXPECT_EQ(h.bucket(Histogram::num_buckets() - 1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(7), 0u);
+  EXPECT_EQ(h.approx_quantile(1.0),
+            1ULL << (Histogram::num_buckets() - 1));
+}
+
+TEST(StatsOverflow, AccumulatorSumsBeyond32Bits) {
+  Accumulator a;
+  for (int i = 0; i < 64; ++i) a.add(static_cast<double>(1ULL << 32));
+  EXPECT_EQ(a.count(), 64u);
+  EXPECT_DOUBLE_EQ(a.sum(), 64.0 * 4294967296.0);
+}
+
+TEST(StatsOverflow, QueueingHistogramAcceptsWideIdleCounts) {
+  // The NI records Packet::idle_cycles into this histogram at delivery; a
+  // saturated multi-million-cycle run can exceed 2^32 accumulated stalls.
+  noc::NocStats s;
+  s.queueing_cycles.add((1ULL << 36) + 7);
+  EXPECT_EQ(s.queueing_cycles.summary().count(), 1u);
+  // The exact value survives in the accumulator; the bucket clamps to the
+  // histogram's top bin instead of wrapping into a low one.
+  EXPECT_DOUBLE_EQ(s.queueing_cycles.summary().max(),
+                   static_cast<double>((1ULL << 36) + 7));
+  EXPECT_EQ(s.queueing_cycles.bucket(Histogram::num_buckets() - 1), 1u);
+}
+
+}  // namespace
+}  // namespace disco

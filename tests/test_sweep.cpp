@@ -195,6 +195,50 @@ TEST(SweepEngine, ZeroRateFaultInjectionLeavesMetricsUntouched) {
   EXPECT_NE(fs.str().find("\"fault\""), std::string::npos);
 }
 
+TEST(SweepEngine, TraceReplayIsThreadCountInvariant) {
+  // Stronger determinism than metric equality: with tracing and invariant
+  // checking on, the per-cell canonical event streams — the full
+  // microarchitectural interleaving, not just end-of-run aggregates — must
+  // be byte-identical between a serial and a 4-thread run.
+  auto cells = small_grid();
+  cells.resize(2);
+  for (auto& c : cells) {  // 2x2 keeps the captured streams small
+    c.cfg.noc.mesh_cols = 2;
+    c.cfg.noc.mesh_rows = 2;
+    c.cfg.l2.total_size_bytes = 256ULL * 1024;
+  }
+  SweepOptions serial = quiet(1);
+  serial.trace.enabled = true;
+  serial.trace.check_invariants = true;
+  SweepOptions parallel = quiet(4);
+  parallel.trace = serial.trace;
+  const SweepResult a = run_sweep(cells, serial);
+  const SweepResult b = run_sweep(cells, parallel);
+  ASSERT_EQ(a.completed, cells.size());
+  ASSERT_EQ(b.completed, cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& ra = a.cells[i].result;
+    const CellResult& rb = b.cells[i].result;
+    ASSERT_FALSE(ra.trace_text.empty()) << "cell " << i;
+    EXPECT_EQ(ra.trace_text, rb.trace_text)
+        << "trace stream of cell " << i << " depends on the thread count";
+    EXPECT_TRUE(ra.invariants.enabled);
+    EXPECT_TRUE(ra.invariants.clean())
+        << "cell " << i << ": " << ra.invariants.first_violation;
+    EXPECT_EQ(ra.invariants.events_checked, rb.invariants.events_checked);
+    EXPECT_EQ(ra.invariants.cycles_checked, rb.invariants.cycles_checked);
+    EXPECT_EQ(ra.invariants.violations, rb.invariants.violations);
+  }
+  // The JSON gains an "invariants" object exactly when checking ran.
+  std::ostringstream with;
+  write_json(with, a.cells[0].result);
+  EXPECT_NE(with.str().find("\"invariants\""), std::string::npos);
+  const SweepResult plain = run_sweep({cells[0]}, quiet(1));
+  std::ostringstream without;
+  write_json(without, plain.cells[0].result);
+  EXPECT_EQ(without.str().find("\"invariants\""), std::string::npos);
+}
+
 TEST(SweepEngine, EmptySweepIsANoop) {
   const SweepResult r = run_sweep({}, quiet(4));
   EXPECT_TRUE(r.cells.empty());

@@ -1,0 +1,58 @@
+// Line-oriented diff for canonical trace files. Blank lines and '#'
+// comment lines (the ring-wrap marker trace_record may emit) are ignored,
+// so a golden file and a fresh capture compare on events alone. Exit 0 on
+// match, 1 on the first difference (printed with context), 2 on usage/IO
+// errors.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+bool load_events(const char* path, std::vector<std::string>& out) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    out.push_back(line);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s GOLDEN.trace ACTUAL.trace\n", argv[0]);
+    return 2;
+  }
+  std::vector<std::string> a, b;
+  if (!load_events(argv[1], a)) {
+    std::fprintf(stderr, "%s: cannot read %s\n", argv[0], argv[1]);
+    return 2;
+  }
+  if (!load_events(argv[2], b)) {
+    std::fprintf(stderr, "%s: cannot read %s\n", argv[0], argv[2]);
+    return 2;
+  }
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == b[i]) continue;
+    std::printf("traces differ at event %zu:\n", i + 1);
+    std::printf("  golden: %s\n", a[i].c_str());
+    std::printf("  actual: %s\n", b[i].c_str());
+    return 1;
+  }
+  if (a.size() != b.size()) {
+    std::printf("traces differ in length: golden %zu events, actual %zu\n",
+                a.size(), b.size());
+    const auto& longer = a.size() > b.size() ? a : b;
+    std::printf("  first extra (%s): %s\n",
+                a.size() > b.size() ? "golden" : "actual", longer[n].c_str());
+    return 1;
+  }
+  std::printf("traces match (%zu events)\n", a.size());
+  return 0;
+}

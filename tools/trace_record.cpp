@@ -1,0 +1,93 @@
+// Regenerates the checked-in golden traces under tests/golden/. Run after
+// any intentional change to router arbitration, credit flow, DISCO
+// scheduling or cache fill order, then review the diff like any other code
+// change:
+//   ./tools/trace_record --all --out ../tests/golden
+//   git diff tests/golden/
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/golden.h"
+
+namespace {
+
+int usage(const char* prog, int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: %s [--list] [--out DIR] [--all | SCENARIO...]\n"
+               "  --list     print scenario names and descriptions\n"
+               "  --out DIR  output directory (default: .)\n"
+               "  --all      record every scenario\n",
+               prog);
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using disco::sim::golden_scenarios;
+  std::string out_dir = ".";
+  bool all = false;
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") return usage(argv[0], 0);
+    if (a == "--list") {
+      for (const auto& s : golden_scenarios())
+        std::printf("%-22s %s\n", s.name, s.description);
+      return 0;
+    }
+    if (a == "--all") {
+      all = true;
+    } else if (a == "--out") {
+      if (++i >= argc) return usage(argv[0], 2);
+      out_dir = argv[i];
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], a.c_str());
+      return usage(argv[0], 2);
+    } else {
+      names.push_back(a);
+    }
+  }
+  if (all)
+    for (const auto& s : golden_scenarios()) names.push_back(s.name);
+  if (names.empty()) return usage(argv[0], 2);
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+
+  int rc = 0;
+  for (const auto& name : names) {
+    try {
+      const auto run = disco::sim::run_golden_scenario(name);
+      const std::string path = out_dir + "/" + name + ".trace";
+      std::ofstream os(path, std::ios::binary);
+      if (!os) {
+        std::fprintf(stderr, "%s: cannot write %s\n", argv[0], path.c_str());
+        rc = 1;
+        continue;
+      }
+      os << run.trace;
+      std::size_t lines = 0;
+      for (char c : run.trace)
+        if (c == '\n') ++lines;
+      std::printf("%-22s %6zu events -> %s (%s)\n", name.c_str(), lines,
+                  path.c_str(),
+                  run.invariants.clean() ? "invariants clean"
+                                         : "INVARIANT VIOLATIONS");
+      if (!run.invariants.clean()) {
+        std::fprintf(stderr, "%s: %s: %s\n", argv[0], name.c_str(),
+                     run.invariants.first_violation.c_str());
+        rc = 1;
+      }
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      rc = 2;
+    }
+  }
+  return rc;
+}
