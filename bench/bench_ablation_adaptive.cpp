@@ -61,5 +61,5 @@ int main(int argc, char** argv) {
               "starve, tracking the congestion level the paper says the best "
               "static setting depends on.\n");
   bench::print_sweep_summary(sweep);
-  return sweep.all_ok() ? 0 : 1;
+  return bench::exit_code(sweep);
 }

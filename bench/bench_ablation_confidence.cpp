@@ -79,5 +79,5 @@ int main(int argc, char** argv) {
               "hiding entirely (the paper's 'trained empirically' point sits "
               "between).\n");
   bench::print_sweep_summary(sweep);
-  return sweep.all_ok() ? 0 : 1;
+  return bench::exit_code(sweep);
 }

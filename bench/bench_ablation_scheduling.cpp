@@ -53,5 +53,5 @@ int main(int argc, char** argv) {
               "more compression opportunities; it pays off when traffic is "
               "heavy enough that compression actually fires.\n");
   bench::print_sweep_summary(sweep);
-  return sweep.all_ok() ? 0 : 1;
+  return bench::exit_code(sweep);
 }

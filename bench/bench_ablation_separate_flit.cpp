@@ -57,5 +57,5 @@ int main(int argc, char** argv) {
               "separate mode starts earlier and completes more operations "
               "(paper: 'which is adopted in DISCO').\n");
   bench::print_sweep_summary(sweep);
-  return sweep.all_ok() ? 0 : 1;
+  return bench::exit_code(sweep);
 }

@@ -122,5 +122,6 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(total_silent));
     return 1;
   }
-  return sweep.all_ok() && all_rows ? 0 : 1;
+  if (const int rc = bench::exit_code(sweep); rc != 0) return rc;
+  return all_rows ? 0 : 1;
 }

@@ -56,5 +56,5 @@ int main(int argc, char** argv) {
                 (cnc_g - disco_g) / cnc_g * 100.0);
   }
   bench::print_sweep_summary(sweep);
-  return sweep.all_ok() ? 0 : 1;
+  return bench::exit_code(sweep);
 }

@@ -67,5 +67,5 @@ int main(int argc, char** argv) {
     std::printf("expected shape: DISCO's margin over CC/CNC grows from delta "
                 "(Fig 5) to FPC to SC2 as de/compression latency rises.\n");
   bench::print_sweep_summary(sweep);
-  return sweep.all_ok() ? 0 : 1;
+  return bench::exit_code(sweep);
 }

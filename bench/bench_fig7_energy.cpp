@@ -51,5 +51,5 @@ int main(int argc, char** argv) {
                 sim::geomean(cc_n), sim::geomean(cnc_n), sim::geomean(disco_n));
   }
   bench::print_sweep_summary(sweep);
-  return sweep.all_ok() ? 0 : 1;
+  return bench::exit_code(sweep);
 }

@@ -68,5 +68,5 @@ int main(int argc, char** argv) {
   std::printf("\nexpected shape: the DISCO-over-CC gain grows with mesh size "
               "(paper: ~10%% at 16 banks -> ~22%% at 64 banks)\n");
   bench::print_sweep_summary(sweep);
-  return sweep.all_ok() ? 0 : 1;
+  return bench::exit_code(sweep);
 }

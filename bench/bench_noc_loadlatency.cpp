@@ -171,5 +171,5 @@ int main(int argc, char** argv) {
       std::printf("invariants: first violation: %s\n", first.c_str());
     if (violations > 0) return 1;
   }
-  return 0;
+  return bench::exit_code_indexed();
 }

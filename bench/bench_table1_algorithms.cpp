@@ -73,5 +73,5 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::printf("\ncorpus: %zu blocks across 13 PARSEC-like value mixes\n",
               corpus.size());
-  return 0;
+  return bench::exit_code_indexed();
 }

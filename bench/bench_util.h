@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/interrupt.h"
 #include "common/table.h"
 #include "compress/registry.h"
 #include "sim/experiment.h"
@@ -27,7 +28,9 @@ inline sim::RunOptions standard_options() {
 }
 
 /// Parse the standard sweep flags; benches take no other arguments, so any
-/// positional argument is an error.
+/// positional argument is an error. Also installs the SIGINT/SIGTERM
+/// handlers so an interrupted bench flushes partial results + checkpoint
+/// manifest and exits with code 130 instead of dying mid-write.
 inline sim::SweepOptions sweep_options(int argc, char** argv,
                                        const char* label) {
   std::vector<std::string> positional;
@@ -38,8 +41,20 @@ inline sim::SweepOptions sweep_options(int argc, char** argv,
     std::exit(2);
   }
   opt.progress_label = label;
+  sim::install_interrupt_handlers();
   return opt;
 }
+
+/// Standard bench exit code: 0 all ok, 130 interrupted (partial results were
+/// still flushed), 1 any cell failed/crashed/timed out.
+inline int exit_code(const sim::SweepResult& r) {
+  if (r.interrupted) return 130;
+  return r.failed == 0 ? 0 : 1;
+}
+
+/// Exit code for run_indexed-based benches, which have no SweepResult: 130
+/// when a SIGINT/SIGTERM cut the run short, else 0.
+inline int exit_code_indexed() { return interrupt_requested() ? 130 : 0; }
 
 /// Copy the sweep's --fault-* knobs into a cell config. No-op (and
 /// byte-identical outputs) when no fault flag was given.
@@ -112,9 +127,12 @@ inline std::vector<const sim::CellResult*> grid_row(const sim::SweepResult& r,
 /// Footer every bench prints: failed/skipped accounting for sharded runs,
 /// plus the invariant-checker verdict when --check-invariants was given.
 inline void print_sweep_summary(const sim::SweepResult& r) {
-  std::printf("\nsweep: %zu cells ok, %zu failed, %zu skipped (other shards), "
-              "%.1fs wall\n",
-              r.completed, r.failed, r.skipped, r.wall_ms / 1000.0);
+  std::printf("\nsweep: %zu cells ok, %zu failed (%zu crashed), %zu skipped "
+              "(other shards), %.1fs wall\n",
+              r.completed, r.failed, r.crashed, r.skipped, r.wall_ms / 1000.0);
+  if (r.interrupted)
+    std::printf("sweep: INTERRUPTED — partial results above; rerun with "
+                "--resume <dir>/manifest.jsonl to finish\n");
   std::size_t checked = 0, dirty = 0;
   std::uint64_t events = 0, violations = 0;
   std::string first;

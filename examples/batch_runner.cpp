@@ -3,14 +3,18 @@
 // tooling — the programmatic counterpart of the figure benches.
 //
 // Run: ./build/examples/batch_runner [--threads N] [--shard i/k] [--seed S]
+//        [--isolate] [--checkpoint-dir D] [--resume M]
 //        [algorithm] [out.json] [workload...]
 //
 // JSON output is aggregated in cell order regardless of thread count, so a
-// run with --threads 8 is byte-identical to --threads 1.
+// run with --threads 8 is byte-identical to --threads 1 — and a run resumed
+// from a checkpoint manifest is byte-identical to an uninterrupted one.
+// SIGINT/SIGTERM flush partial JSON + manifest and exit 130.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
+#include "common/interrupt.h"
 #include "sim/experiment.h"
 #include "sim/json_export.h"
 #include "sim/sweep.h"
@@ -22,6 +26,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   sim::SweepOptions sweep_opt = sim::parse_sweep_flags(argc, argv, positional);
   sweep_opt.progress_label = "batch";
+  sim::install_interrupt_handlers();
 
   SystemConfig cfg;
   cfg.algorithm = !positional.empty() ? positional[0] : "delta";
@@ -61,7 +66,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto sweep = sim::run_sweep(cells, sweep_opt);
+  sim::SweepResult sweep;
+  try {
+    sweep = sim::run_sweep(cells, sweep_opt);
+  } catch (const std::runtime_error& e) {
+    // A resume manifest that does not match this sweep's shape is a usage
+    // error, not a crash.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   for (const auto& cell : sweep.cells) {
     if (!cell.ok()) continue;
     std::printf("  %-14s %-8s nuca=%.1f cycles\n", cell.result.workload.c_str(),
@@ -76,7 +89,17 @@ int main(int argc, char** argv) {
   const auto results = sweep.ok_results();
   std::ofstream out(out_path);
   sim::write_json(out, results);
-  std::printf("\nwrote %zu cells to %s (%zu failed, %zu in other shards)\n",
-              results.size(), out_path.c_str(), sweep.failed, sweep.skipped);
+  std::printf("\nwrote %zu cells to %s (%zu failed, %zu crashed, %zu in other"
+              " shards)\n",
+              results.size(), out_path.c_str(), sweep.failed, sweep.crashed,
+              sweep.skipped);
+  if (sweep.interrupted) {
+    std::fprintf(stderr, "interrupted: partial results flushed to %s%s\n",
+                 out_path.c_str(),
+                 sweep_opt.supervisor.checkpoint_dir.empty()
+                     ? ""
+                     : "; resume from the checkpoint manifest");
+    return 130;
+  }
   return sweep.all_ok() ? 0 : 1;
 }

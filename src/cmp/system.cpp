@@ -1,10 +1,36 @@
 #include "cmp/system.h"
 
 #include <cassert>
+#include <fstream>
+#include <sstream>
 
+#include "common/interrupt.h"
 #include "compress/sc2.h"
+#include "trace/invariants.h"
 
 namespace disco::cmp {
+namespace {
+
+/// Crash-handler registry: the first live system claims the slot so a forked
+/// sweep worker (exactly one system per process) can be found from a signal
+/// handler; concurrent in-process cells simply leave it to the first claimant.
+std::atomic<CmpSystem*> g_current_system{nullptr};
+
+}  // namespace
+
+const char* to_string(StallKind k) {
+  switch (k) {
+    case StallKind::Deadlock: return "deadlock";
+    case StallKind::Livelock: return "livelock";
+    case StallKind::Starvation: return "starvation";
+  }
+  return "?";
+}
+
+CmpSystem* CmpSystem::current() {
+  return g_current_system.load(std::memory_order_acquire);
+}
+
 namespace {
 
 /// SC2's sampling phase: retrain the value-frequency table on blocks drawn
@@ -115,6 +141,18 @@ CmpSystem::CmpSystem(const SystemConfig& cfg,
         workload::TraceGenerator(profile, node, cfg_.seed),
         synth_, /*max_outstanding=*/8));
   }
+
+  CmpSystem* expected = nullptr;
+  g_current_system.compare_exchange_strong(expected, this,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed);
+}
+
+CmpSystem::~CmpSystem() {
+  CmpSystem* expected = this;
+  g_current_system.compare_exchange_strong(expected, nullptr,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed);
 }
 
 cache::L2Bank::WarmEvictFn CmpSystem::warm_evict_fn() {
@@ -211,6 +249,7 @@ void CmpSystem::warm_access(NodeId node, Addr addr, bool is_store,
 void CmpSystem::functional_warmup(std::uint64_t ops_per_core) {
   const std::uint32_t n = cfg_.noc.num_nodes();
   for (std::uint64_t i = 0; i < ops_per_core; ++i) {
+    if ((i & 0x3FF) == 0) check_cancel();
     for (NodeId node = 0; node < n; ++node) {
       const workload::TraceOp op = cores_[node]->next_warm_op();
       const std::uint64_t value =
@@ -229,6 +268,97 @@ void CmpSystem::tick() {
   for (auto& core : cores_) core->tick(cycle_);
   if (checker_ != nullptr)
     checker_->end_of_cycle(cycle_, network_->inflight_flits());
+  if ((cycle_ & 0xFF) == 0) check_cancel();
+  if (cfg_.progress_watchdog_cycles > 0) check_progress();
+}
+
+void CmpSystem::check_cancel() const {
+  if ((cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) ||
+      interrupt_requested()) {
+    throw CancelledError();
+  }
+}
+
+bool CmpSystem::work_outstanding() const {
+  if (network_->inflight_flits() > 0 || network_->pending_injections() > 0)
+    return true;
+  for (const auto& l1 : l1s_)
+    if (!l1->idle()) return true;
+  for (const auto& l2 : l2s_)
+    if (!l2->idle()) return true;
+  for (const auto& mem : mems_)
+    if (!mem->idle()) return true;
+  return false;
+}
+
+void CmpSystem::check_progress() {
+  // Progress = end-to-end packet progress; activity = any flit movement.
+  // reset_stats() between phases perturbs both signatures, which simply
+  // re-arms the window — never a false trip.
+  const std::uint64_t progress =
+      noc_stats_.packets_injected + noc_stats_.packets_ejected;
+  const std::uint64_t activity =
+      noc_stats_.link_flits + noc_stats_.crossbar_traversals +
+      noc_stats_.buffer_writes + noc_stats_.credits_sent;
+  if (progress != last_progress_sig_) {
+    last_progress_sig_ = progress;
+    activity_sig_at_progress_ = activity;
+    last_progress_cycle_ = cycle_;
+    return;
+  }
+  if (cycle_ - last_progress_cycle_ < cfg_.progress_watchdog_cycles) return;
+  if (!work_outstanding()) {
+    // Genuinely idle (e.g. a compute-only phase): re-arm, don't trip.
+    last_progress_cycle_ = cycle_;
+    return;
+  }
+
+  const noc::StallCensus census = network_->stall_census();
+  const std::uint64_t inflight = network_->inflight_flits();
+  const StallKind kind = classify_stall(activity != activity_sig_at_progress_,
+                                        inflight, census.pending_injections);
+  std::ostringstream what;
+  what << "watchdog: " << to_string(kind) << " at cycle " << cycle_
+       << " (no packet progress since cycle " << last_progress_cycle_ << "; "
+       << inflight << " flits in flight, " << census.blocked_vcs << "/"
+       << census.active_vcs << " active VCs credit-blocked, "
+       << census.waiting_alloc_vcs << " VCs waiting for allocation, "
+       << census.pending_injections << " packets starved at NIs)";
+  if (!cfg_.postmortem_path.empty()) {
+    std::ofstream os(cfg_.postmortem_path);
+    if (os) write_postmortem(os, what.str());
+  }
+  throw NoProgressError(kind, cycle_, last_progress_cycle_, what.str());
+}
+
+void CmpSystem::write_postmortem(std::ostream& os,
+                                 const std::string& reason) const {
+  os << "=== DISCO postmortem black box ===\n"
+     << "reason: " << reason << "\n"
+     << "cycle: " << cycle_ << "\n"
+     << "last_progress_cycle: " << last_progress_cycle_ << "\n"
+     << "config: " << cfg_.summary() << "\n";
+  const noc::StallCensus c = network_->stall_census();
+  os << "stall_census: buffered_flits=" << c.buffered_flits
+     << " inflight_flits=" << network_->inflight_flits()
+     << " active_vcs=" << c.active_vcs << " blocked_vcs=" << c.blocked_vcs
+     << " waiting_alloc_vcs=" << c.waiting_alloc_vcs
+     << " pending_injections=" << c.pending_injections << "\n"
+     << "packets: injected=" << noc_stats_.packets_injected
+     << " ejected=" << noc_stats_.packets_ejected
+     << " link_flits=" << noc_stats_.link_flits << "\n";
+  if (checker_ != nullptr) {
+    const trace::InvariantSummary& s = checker_->summary();
+    os << "invariants: events=" << s.events_checked
+       << " violations=" << s.violations;
+    if (!s.first_violation.empty()) os << " first=\"" << s.first_violation << '"';
+    os << "\n";
+  }
+  if (tracer_ != nullptr) {
+    os << "--- tracer ring tail ---\n";
+    tracer_->write_canonical_tail(os, 256);
+  }
+  os.flush();
 }
 
 void CmpSystem::run(Cycle cycles) {

@@ -4,7 +4,10 @@
 // workload) experiment cell.
 #pragma once
 
+#include <atomic>
+#include <iosfwd>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "cache/l1_cache.h"
@@ -23,6 +26,47 @@
 
 namespace disco::cmp {
 
+/// What the no-progress watchdog concluded about a stalled system.
+enum class StallKind : std::uint8_t {
+  Deadlock,    ///< flits buffered in-network, nothing moves at all
+  Livelock,    ///< flits still moving, but no packet ever retires
+  Starvation,  ///< network empty, yet sources cannot inject (e.g. no credits)
+};
+
+const char* to_string(StallKind k);
+
+/// Pure classification rule, unit-testable without a live network: called
+/// when no packet was injected or ejected for the watchdog window.
+inline StallKind classify_stall(bool activity_advanced,
+                                std::uint64_t inflight_flits,
+                                std::uint64_t pending_injections) {
+  (void)pending_injections;
+  if (activity_advanced) return StallKind::Livelock;
+  if (inflight_flits > 0) return StallKind::Deadlock;
+  return StallKind::Starvation;
+}
+
+/// Structured failure thrown by the no-progress watchdog instead of letting
+/// a deadlocked/livelocked cell spin until its wall-clock budget.
+class NoProgressError : public std::runtime_error {
+ public:
+  NoProgressError(StallKind kind, Cycle at, Cycle last_progress,
+                  const std::string& what)
+      : std::runtime_error(what), kind(kind), cycle(at),
+        last_progress_cycle(last_progress) {}
+
+  StallKind kind;
+  Cycle cycle;
+  Cycle last_progress_cycle;
+};
+
+/// Thrown by the simulation loop when its cooperative cancellation token is
+/// set (cell timeout reclaiming its worker, or a SIGINT/SIGTERM shutdown).
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("cell cancelled") {}
+};
+
 class CmpSystem {
  public:
   CmpSystem(const SystemConfig& cfg, const workload::BenchmarkProfile& profile);
@@ -32,6 +76,22 @@ class CmpSystem {
   /// interleaves). Must run before any timing simulation; the timing phase
   /// then continues each core's reference stream.
   void functional_warmup(std::uint64_t ops_per_core);
+
+  /// Cooperative cancellation: when `token` is non-null the simulation loop
+  /// polls it every few hundred cycles and throws CancelledError once it is
+  /// set, so an abandoned (timed-out / interrupted) cell actually stops
+  /// instead of burning a pool slot to completion.
+  void set_cancel_token(const std::atomic<bool>* token) { cancel_ = token; }
+
+  /// Flush the postmortem black box — last-progress cycle, stall census,
+  /// invariant summary, tracer ring tail — to `os`. Called on watchdog trips
+  /// (to cfg.postmortem_path) and best-effort from crash handlers.
+  void write_postmortem(std::ostream& os, const std::string& reason) const;
+
+  /// The process's most recently constructed live system, for crash handlers
+  /// in isolated sweep workers (one system per forked child). Null when no
+  /// system is live or several are (first claim wins).
+  static CmpSystem* current();
 
   /// Advance the whole chip by `cycles`.
   void run(Cycle cycles);
@@ -69,8 +129,15 @@ class CmpSystem {
     return static_cast<NodeId>((addr / kBlockBytes) % cfg_.noc.num_nodes());
   }
 
+  CmpSystem(const CmpSystem&) = delete;
+  CmpSystem& operator=(const CmpSystem&) = delete;
+  ~CmpSystem();
+
  private:
   void tick();
+  void check_cancel() const;
+  void check_progress();
+  bool work_outstanding() const;
   void warm_access(NodeId node, Addr addr, bool is_store, std::uint64_t value);
   cache::MemCtrl& mem_for(Addr addr) {
     return *mems_[(addr / kBlockBytes) % mems_.size()];
@@ -95,6 +162,12 @@ class CmpSystem {
   std::vector<std::unique_ptr<Core>> cores_;
 
   Cycle cycle_ = 0;
+
+  // Cooperative cancellation + no-progress watchdog state.
+  const std::atomic<bool>* cancel_ = nullptr;
+  std::uint64_t last_progress_sig_ = 0;
+  std::uint64_t activity_sig_at_progress_ = 0;
+  Cycle last_progress_cycle_ = 0;
 };
 
 }  // namespace disco::cmp

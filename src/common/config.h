@@ -164,6 +164,18 @@ struct SystemConfig {
   std::string algorithm = "delta";  ///< key into compress::Registry
   std::uint64_t seed = 1;
 
+  /// In-sim no-progress watchdog: if no packet is injected or ejected for
+  /// this many cycles while work is outstanding, the run fails with a
+  /// structured NoProgressError classifying deadlock / livelock / starvation
+  /// from router state instead of spinning to the wall-clock budget. 0 = off.
+  std::uint64_t progress_watchdog_cycles = 0;
+
+  /// When non-empty, the system dumps a postmortem black box (last-progress
+  /// cycle, stall census, invariant summary, tracer ring tail) to this file
+  /// before failing on a watchdog trip; crash handlers in isolated sweep
+  /// workers reuse the same path. Set per cell by the sweep supervisor.
+  std::string postmortem_path;
+
   std::uint64_t l2_bank_size_bytes() const {
     return l2.total_size_bytes / noc.num_nodes();
   }

@@ -73,6 +73,14 @@ void Network::tick(Cycle now) {
   for (auto& ni : nis_) ni->tick(now);
 }
 
+StallCensus Network::stall_census() const {
+  StallCensus c;
+  for (const auto& r : routers_) r->stall_census(c);
+  for (const auto& l : flit_links_) c.buffered_flits += l->size();
+  c.pending_injections = pending_injections();
+  return c;
+}
+
 bool Network::credits_quiescent() const {
   for (const auto& r : routers_)
     if (!r->credits_quiescent()) return false;

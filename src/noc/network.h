@@ -56,6 +56,19 @@ class Network {
     return n;
   }
 
+  /// Packets queued at NIs that have not entered the network yet (watchdog:
+  /// distinguishes starved sources from an in-network deadlock).
+  std::uint64_t pending_injections() const {
+    std::uint64_t n = 0;
+    for (const auto& ni : nis_) n += ni->pending_injections();
+    return n;
+  }
+
+  /// Structural stall snapshot over every router plus the NI inject queues;
+  /// link-resident flits are folded into buffered_flits so the census agrees
+  /// with inflight_flits(). Taken by the no-progress watchdog when it trips.
+  StallCensus stall_census() const;
+
   void tick(Cycle now);
 
   /// True when no flit is buffered or in flight anywhere.

@@ -370,6 +370,20 @@ std::uint64_t Router::total_buffered_flits() const {
   return n;
 }
 
+void Router::stall_census(StallCensus& c) const {
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    for (const VirtualChannel& ch : input_[p]) {
+      c.buffered_flits += ch.buffer.size();
+      if (ch.stage == VcStage::VcAlloc) {
+        ++c.waiting_alloc_vcs;
+      } else if (ch.stage == VcStage::Active) {
+        ++c.active_vcs;
+        if (credits_[idx(ch.out_port)][ch.out_vc] == 0) ++c.blocked_vcs;
+      }
+    }
+  }
+}
+
 bool Router::quiescent() const { return total_buffered_flits() == 0; }
 
 bool Router::credits_quiescent() const {

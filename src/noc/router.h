@@ -26,6 +26,19 @@ namespace disco::noc {
 
 class Router;
 
+/// Structural snapshot of why a network might not be making progress, taken
+/// by the no-progress watchdog when it trips. Aggregated over all routers
+/// (and, at the Network level, NIs) so the failure report can distinguish a
+/// credit deadlock (blocked active VCs) from allocation starvation (VCs
+/// parked in VcAlloc) from sources that cannot inject at all.
+struct StallCensus {
+  std::uint64_t buffered_flits = 0;     ///< flits sitting in router input VCs
+  std::uint32_t active_vcs = 0;         ///< VCs granted a downstream VC
+  std::uint32_t blocked_vcs = 0;        ///< active VCs with zero downstream credits
+  std::uint32_t waiting_alloc_vcs = 0;  ///< VCs stuck waiting for a VC grant
+  std::uint64_t pending_injections = 0; ///< packets queued at NIs, not yet in-network
+};
+
 /// Hook interface for in-router machinery (the DISCO arbitrator + engines).
 /// Called by the router at fixed points of its pipeline each cycle.
 class RouterExtension {
@@ -86,6 +99,9 @@ class Router {
 
   /// Total buffered flits across all input VCs (diagnostics/energy leakage).
   std::uint64_t total_buffered_flits() const;
+
+  /// Accumulate this router's contribution to a stall census (watchdog).
+  void stall_census(StallCensus& c) const;
 
   bool quiescent() const;
 

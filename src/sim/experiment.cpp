@@ -10,6 +10,7 @@ CellResult run_cell(const SystemConfig& cfg,
                     const workload::BenchmarkProfile& profile,
                     const RunOptions& opt) {
   cmp::CmpSystem sys(cfg, profile);
+  sys.set_cancel_token(opt.cancel);
   sys.functional_warmup(opt.warmup_ops_per_core);
   sys.run(opt.warmup_cycles);
   sys.reset_stats();

@@ -3,6 +3,7 @@
 // tables and figures report. Every bench binary is a thin driver over this.
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,10 @@ struct RunOptions {
   /// Timed warmup after the functional phase (fills queues/MSHRs).
   Cycle warmup_cycles = 20000;
   Cycle measure_cycles = 100000;
+  /// Cooperative cancellation token, polled by the simulation loop every few
+  /// hundred cycles; when set the cell unwinds with cmp::CancelledError so a
+  /// timed-out or interrupted cell releases its pool slot. Null = never.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 CellResult run_cell(const SystemConfig& cfg,

@@ -12,17 +12,16 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/interrupt.h"
 #include "common/rng.h"
+#include "compress/decode_error.h"
+#include "sim/supervisor.h"
+#include "sim/sweep_internal.h"
 #include "trace/trace.h"
 
 namespace disco::sim {
-namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-}
+namespace detail {
 
 unsigned resolve_threads(unsigned requested) {
   if (requested > 0) return requested;
@@ -30,55 +29,15 @@ unsigned resolve_threads(unsigned requested) {
   return hw > 1 ? hw - 1 : 1;
 }
 
-/// Serialized stderr progress line: cells done / total, elapsed, ETA.
-class ProgressMeter {
- public:
-  ProgressMeter(std::size_t total, const SweepOptions& opt)
-      : total_(total), enabled_(opt.progress), label_(opt.progress_label),
-        start_(Clock::now()) {}
-
-  void cell_done() {
-    if (!enabled_) return;
-    const std::size_t done = ++done_;
-    std::lock_guard<std::mutex> lock(mu_);
-    const double elapsed_s = ms_since(start_) / 1000.0;
-    const double eta_s =
-        done > 0 ? elapsed_s * static_cast<double>(total_ - done) /
-                       static_cast<double>(done)
-                 : 0.0;
-    std::fprintf(stderr, "\r%s: %zu/%zu cells (%3.0f%%)  elapsed %.1fs  eta %.1fs ",
-                 label_.c_str(), done, total_,
-                 100.0 * static_cast<double>(done) / static_cast<double>(total_),
-                 elapsed_s, eta_s);
-    if (done == total_) std::fprintf(stderr, "\n");
-    std::fflush(stderr);
-  }
-
-  void note(const std::string& line) {
-    if (!enabled_) return;
-    std::lock_guard<std::mutex> lock(mu_);
-    std::fprintf(stderr, "\n%s: %s\n", label_.c_str(), line.c_str());
-  }
-
- private:
-  const std::size_t total_;
-  const bool enabled_;
-  const std::string label_;
-  const Clock::time_point start_;
-  std::atomic<std::size_t> done_{0};
-  std::mutex mu_;
-};
-
-/// Pull-based pool: workers claim task indices from a shared counter. With
-/// one resolved thread the tasks run inline on the calling thread, so serial
-/// and parallel execution share one code path.
 void run_pool(std::size_t count, unsigned threads,
               const std::function<void(std::size_t)>& task) {
   if (count == 0) return;
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
-    for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1))
+    for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      if (interrupt_requested()) return;
       task(i);
+    }
   };
   const unsigned n = std::min<std::size_t>(resolve_threads(threads), count);
   if (n <= 1) {
@@ -91,62 +50,127 @@ void run_pool(std::size_t count, unsigned threads,
   for (auto& th : pool) th.join();
 }
 
+std::string describe_current_exception() {
+  try {
+    throw;
+  } catch (const compress::DecodeError& e) {
+    return std::string("decode error: ") + e.what();
+  } catch (const cmp::NoProgressError& e) {
+    return e.what();
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (const char* s) {
+    return std::string("c-string exception: ") + s;
+  } catch (const std::string& s) {
+    return "string exception: " + s;
+  } catch (int v) {
+    return "int exception: " + std::to_string(v);
+  } catch (long v) {
+    return "long exception: " + std::to_string(v);
+  } catch (...) {
+    return "exception of unknown type";
+  }
+}
+
+namespace {
+
 /// Completion slot shared with a (possibly outlived) attempt thread.
 struct AttemptState {
-  SweepCell cell;  ///< owned copy: must outlive a timed-out, detached attempt
+  SweepCell cell;  ///< owned copy: must outlive a wedged, detached attempt
+  std::atomic<bool> cancel{false};
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
   bool threw = false;
+  bool cancelled = false;  ///< CancelledError unwound the cell
   std::string error;
   CellResult result;
 };
 
-/// One attempt at a cell. Returns Ok/Failed, or TimedOut when a wall-clock
-/// budget is set and exceeded — in that case the attempt thread is detached
-/// and its eventual result discarded, so the sweep keeps moving.
+std::atomic<std::size_t> g_live_attempt_threads{0};
+
+}  // namespace
+
+std::size_t live_attempt_threads() {
+  return g_live_attempt_threads.load(std::memory_order_acquire);
+}
+
 CellStatus run_attempt(const SweepCell& cell, std::uint64_t timeout_ms,
+                       std::uint64_t hang_grace_ms, const AttemptHook& hook,
                        CellResult& result, std::string& error) {
   if (timeout_ms == 0) {
     try {
+      if (hook) hook(cell.opt.cancel);
       result = run_cell(cell.cfg, cell.profile, cell.opt);
       return CellStatus::Ok;
-    } catch (const std::exception& e) {
-      error = e.what();
+    } catch (const cmp::CancelledError&) {
+      error = "cell interrupted";
+      return CellStatus::Interrupted;
     } catch (...) {
-      error = "unknown exception";
+      error = describe_current_exception();
     }
     return CellStatus::Failed;
   }
 
   auto st = std::make_shared<AttemptState>();
   st->cell = cell;
-  std::thread([st] {
+  st->cell.opt.cancel = &st->cancel;
+  g_live_attempt_threads.fetch_add(1, std::memory_order_acq_rel);
+  std::thread worker([st, hook] {
     CellResult r;
     bool threw = false;
+    bool cancelled = false;
     std::string err;
     try {
+      if (hook) hook(&st->cancel);
       r = run_cell(st->cell.cfg, st->cell.profile, st->cell.opt);
-    } catch (const std::exception& e) {
-      threw = true;
-      err = e.what();
+    } catch (const cmp::CancelledError&) {
+      cancelled = true;
     } catch (...) {
       threw = true;
-      err = "unknown exception";
+      err = describe_current_exception();
     }
-    std::lock_guard<std::mutex> lock(st->mu);
-    st->result = std::move(r);
-    st->threw = threw;
-    st->error = std::move(err);
-    st->done = true;
+    {
+      std::lock_guard<std::mutex> lock(st->mu);
+      st->result = std::move(r);
+      st->threw = threw;
+      st->cancelled = cancelled;
+      st->error = std::move(err);
+      st->done = true;
+    }
     st->cv.notify_all();
-  }).detach();
+    g_live_attempt_threads.fetch_sub(1, std::memory_order_acq_rel);
+  });
 
   std::unique_lock<std::mutex> lock(st->mu);
   if (!st->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
                        [&] { return st->done; })) {
-    error = "cell exceeded " + std::to_string(timeout_ms) + "ms budget";
-    return CellStatus::TimedOut;
+    // Budget exceeded: fire the cooperative cancellation token. The sim loop
+    // polls it every few hundred cycles, so a bounded grace wait reclaims
+    // the thread (and its pool slot); only a truly wedged attempt — one that
+    // never reaches a poll point again — is detached.
+    st->cancel.store(true, std::memory_order_release);
+    const bool reclaimed = st->cv.wait_for(
+        lock,
+        std::chrono::milliseconds(std::max<std::uint64_t>(hang_grace_ms, 1)),
+        [&] { return st->done; });
+    lock.unlock();
+    if (reclaimed) {
+      worker.join();
+    } else {
+      worker.detach();
+    }
+    const bool interrupted = interrupt_requested();
+    error = interrupted
+                ? "cell interrupted"
+                : "cell exceeded " + std::to_string(timeout_ms) + "ms budget";
+    return interrupted ? CellStatus::Interrupted : CellStatus::TimedOut;
+  }
+  lock.unlock();
+  worker.join();
+  if (st->cancelled) {
+    error = "cell interrupted";
+    return CellStatus::Interrupted;
   }
   if (st->threw) {
     error = st->error;
@@ -156,16 +180,95 @@ CellStatus run_attempt(const SweepCell& cell, std::uint64_t timeout_ms,
   return CellStatus::Ok;
 }
 
+std::vector<SweepCell> prepare_cells(const std::vector<SweepCell>& cells,
+                                     const SweepOptions& opt, SweepResult& res,
+                                     std::vector<std::size_t>& work) {
+  res.cells.resize(cells.size());
+  std::vector<SweepCell> prepared(cells);
+  const unsigned shards = std::max(1u, opt.shard_count);
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    SweepCell& c = prepared[i];
+    if (c.group == SweepCell::kAuto) c.group = i;
+    if (c.seed_group == SweepCell::kAuto) c.seed_group = c.group;
+    if (opt.reseed_cells)
+      c.cfg.seed = splitmix64(opt.base_seed,
+                              static_cast<std::uint64_t>(c.seed_group));
+    if (opt.trace.active()) {
+      c.cfg.trace = opt.trace;
+      if (!opt.trace.out_path.empty())
+        c.cfg.trace.out_path =
+            opt.trace.out_path + "-cell" + std::to_string(i) + ".json";
+    }
+    if (opt.progress_watchdog_cycles > 0)
+      c.cfg.progress_watchdog_cycles = opt.progress_watchdog_cycles;
+    res.cells[i].index = i;
+    res.cells[i].group = c.group;
+    if (c.group % shards == opt.shard_index % shards) {
+      work.push_back(i);
+    } else {
+      res.cells[i].status = CellStatus::Skipped;
+    }
+  }
+  return prepared;
+}
+
+void tally_outcomes(SweepResult& res) {
+  res.completed = 0;
+  res.failed = 0;
+  res.crashed = 0;
+  res.skipped = 0;
+  for (const auto& c : res.cells) {
+    switch (c.status) {
+      case CellStatus::Ok: ++res.completed; break;
+      case CellStatus::Skipped: ++res.skipped; break;
+      case CellStatus::Interrupted: res.interrupted = true; break;
+      case CellStatus::Crashed:
+        ++res.crashed;
+        ++res.failed;
+        break;
+      case CellStatus::Failed:
+      case CellStatus::TimedOut: ++res.failed; break;
+    }
+  }
+  if (interrupt_requested()) res.interrupted = true;
+}
+
+}  // namespace detail
+
+namespace {
+
 [[noreturn]] void usage(const char* prog, int code) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--shard i/k] [--seed S]\n"
-               "          [--timeout-ms T] [--no-progress] [--fault-* ...] [args...]\n"
+               "          [--timeout-ms T] [--no-progress] [--isolate]\n"
+               "          [--checkpoint-dir D] [--resume M] [--fault-* ...] [args...]\n"
                "  --threads N     worker threads (default: cores - 1)\n"
                "  --shard i/k     run shard i of k (0 <= i < k); cells are\n"
                "                  sharded by group so comparison rows stay whole\n"
                "  --seed S        base seed; per-cell seed = splitmix64(S, cell)\n"
                "  --timeout-ms T  per-cell wall-clock budget (0 = none)\n"
                "  --no-progress   suppress the stderr progress line\n"
+               "crash resilience (sweep supervisor):\n"
+               "  --isolate            run each cell in a forked child process;\n"
+               "                       a SIGSEGV or hard hang costs one cell\n"
+               "  --checkpoint-dir D   journal finished cells to D/manifest.jsonl\n"
+               "                       and write postmortem black boxes into D\n"
+               "  --resume M           adopt the Ok cells of manifest M verbatim\n"
+               "                       (aggregate output is byte-identical to an\n"
+               "                       uninterrupted run) and run only the rest\n"
+               "  --max-retries R      extra attempts per crashed/hung/failed cell\n"
+               "                       (default 1)\n"
+               "  --retry-backoff-ms B backoff before retry r is B << (r-1)\n"
+               "                       (default 100)\n"
+               "  --hang-grace-ms G    grace between SIGTERM and SIGKILL for a\n"
+               "                       timed-out child (default 2000)\n"
+               "  --progress-watchdog N fail a cell with a classified deadlock/\n"
+               "                       livelock/starvation error if no packet\n"
+               "                       moves for N cycles while work is pending\n"
+               "  --debug-crash-cell K / --debug-hang-cell K / --debug-throw-cell K\n"
+               "                       deterministically break cell K (tests/CI);\n"
+               "                       --debug-crash-attempts A limits the hooks\n"
+               "                       to the first A attempts (default 1)\n"
                "tracing / invariants:\n"
                "  --trace PREFIX       capture probe events; writes Chrome JSON\n"
                "                       to <PREFIX>-cell<i>.json (Perfetto)\n"
@@ -195,6 +298,8 @@ const char* to_string(CellStatus s) {
     case CellStatus::Failed: return "failed";
     case CellStatus::TimedOut: return "timed_out";
     case CellStatus::Skipped: return "skipped";
+    case CellStatus::Crashed: return "crashed";
+    case CellStatus::Interrupted: return "interrupted";
   }
   return "?";
 }
@@ -214,54 +319,32 @@ std::vector<CellResult> SweepResult::ok_results() const {
 
 SweepResult run_sweep(const std::vector<SweepCell>& cells,
                       const SweepOptions& opt) {
-  const auto t0 = Clock::now();
+  if (opt.supervisor.active()) return run_sweep_supervised(cells, opt);
+
+  const auto t0 = detail::Clock::now();
   SweepResult res;
-  res.cells.resize(cells.size());
-
-  // Resolve groups/seeds and the shard's work list up front, so everything
-  // order-dependent happens deterministically before any thread runs.
-  std::vector<SweepCell> prepared(cells);
   std::vector<std::size_t> work;
-  const unsigned shards = std::max(1u, opt.shard_count);
-  for (std::size_t i = 0; i < prepared.size(); ++i) {
-    SweepCell& c = prepared[i];
-    if (c.group == SweepCell::kAuto) c.group = i;
-    if (c.seed_group == SweepCell::kAuto) c.seed_group = c.group;
-    if (opt.reseed_cells)
-      c.cfg.seed = splitmix64(opt.base_seed,
-                              static_cast<std::uint64_t>(c.seed_group));
-    if (opt.trace.active()) {
-      c.cfg.trace = opt.trace;
-      if (!opt.trace.out_path.empty())
-        c.cfg.trace.out_path =
-            opt.trace.out_path + "-cell" + std::to_string(i) + ".json";
-    }
-    res.cells[i].index = i;
-    res.cells[i].group = c.group;
-    if (c.group % shards == opt.shard_index % shards) {
-      work.push_back(i);
-    } else {
-      res.cells[i].status = CellStatus::Skipped;
-      ++res.skipped;
-    }
-  }
+  const std::vector<SweepCell> prepared =
+      detail::prepare_cells(cells, opt, res, work);
 
-  ProgressMeter progress(work.size(), opt);
+  detail::ProgressMeter progress(work.size(), opt);
   const unsigned max_attempts = std::max(1u, opt.max_attempts);
 
-  run_pool(work.size(), opt.threads, [&](std::size_t w) {
+  detail::run_pool(work.size(), opt.threads, [&](std::size_t w) {
     const std::size_t i = work[w];
     SweepCellOutcome& out = res.cells[i];
-    const auto cell_t0 = Clock::now();
+    const auto cell_t0 = detail::Clock::now();
     for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
       out.attempts = attempt;
-      out.status = run_attempt(prepared[i], opt.cell_timeout_ms, out.result,
-                               out.error);
+      out.status =
+          detail::run_attempt(prepared[i], opt.cell_timeout_ms,
+                              opt.supervisor.hang_grace_ms, nullptr,
+                              out.result, out.error);
       // A timed-out cell is not retried: the retry would spend the same
       // wall-clock budget again for the same deterministic outcome.
       if (out.status != CellStatus::Failed) break;
     }
-    out.wall_ms = ms_since(cell_t0);
+    out.wall_ms = detail::ms_since(cell_t0);
     if (!out.ok()) {
       progress.note("cell " + std::to_string(i) + " (" +
                     prepared[i].profile.name + "/" +
@@ -271,18 +354,24 @@ SweepResult run_sweep(const std::vector<SweepCell>& cells,
     progress.cell_done();
   });
 
-  for (const auto& c : res.cells) {
-    if (c.ok()) ++res.completed;
-    else if (c.status != CellStatus::Skipped) ++res.failed;
+  // Cells the pool never claimed (interrupt shutdown) are Interrupted, not
+  // silently Skipped.
+  for (const std::size_t i : work) {
+    SweepCellOutcome& out = res.cells[i];
+    if (out.attempts == 0 && out.status == CellStatus::Skipped) {
+      out.status = CellStatus::Interrupted;
+      out.error = "sweep interrupted before this cell ran";
+    }
   }
-  res.wall_ms = ms_since(t0);
+  detail::tally_outcomes(res);
+  res.wall_ms = detail::ms_since(t0);
   return res;
 }
 
 void run_indexed(std::size_t count, const std::function<void(std::size_t)>& fn,
                  const SweepOptions& opt) {
-  ProgressMeter progress(count, opt);
-  run_pool(count, opt.threads, [&](std::size_t i) {
+  detail::ProgressMeter progress(count, opt);
+  detail::run_pool(count, opt.threads, [&](std::size_t i) {
     fn(i);
     progress.cell_done();
   });
@@ -291,6 +380,17 @@ void run_indexed(std::size_t count, const std::function<void(std::size_t)>& fn,
 SweepOptions parse_sweep_flags(int argc, char** argv,
                                std::vector<std::string>& positional) {
   SweepOptions opt;
+  // Debug fault hooks are also settable from the environment so CI can break
+  // a child without touching every bench's argv plumbing.
+  if (const char* e = std::getenv("DISCO_DEBUG_CRASH_CELL"))
+    opt.supervisor.debug_crash_cell = std::atoi(e);
+  if (const char* e = std::getenv("DISCO_DEBUG_HANG_CELL"))
+    opt.supervisor.debug_hang_cell = std::atoi(e);
+  if (const char* e = std::getenv("DISCO_DEBUG_THROW_CELL"))
+    opt.supervisor.debug_throw_cell = std::atoi(e);
+  if (const char* e = std::getenv("DISCO_DEBUG_CRASH_ATTEMPTS"))
+    opt.supervisor.debug_crash_attempts =
+        static_cast<unsigned>(std::strtoul(e, nullptr, 10));
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -307,6 +407,30 @@ SweepOptions parse_sweep_flags(int argc, char** argv,
       opt.cell_timeout_ms = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--no-progress") {
       opt.progress = false;
+    } else if (arg == "--isolate") {
+      opt.supervisor.isolate = true;
+    } else if (arg == "--checkpoint-dir") {
+      opt.supervisor.checkpoint_dir = value();
+    } else if (arg == "--resume") {
+      opt.supervisor.resume_manifest = value();
+    } else if (arg == "--max-retries") {
+      opt.supervisor.max_retries =
+          static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--retry-backoff-ms") {
+      opt.supervisor.retry_backoff_ms = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--hang-grace-ms") {
+      opt.supervisor.hang_grace_ms = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--progress-watchdog") {
+      opt.progress_watchdog_cycles = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--debug-crash-cell") {
+      opt.supervisor.debug_crash_cell = std::atoi(value());
+    } else if (arg == "--debug-hang-cell") {
+      opt.supervisor.debug_hang_cell = std::atoi(value());
+    } else if (arg == "--debug-throw-cell") {
+      opt.supervisor.debug_throw_cell = std::atoi(value());
+    } else if (arg == "--debug-crash-attempts") {
+      opt.supervisor.debug_crash_attempts =
+          static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--trace") {
       opt.trace.out_path = value();
       opt.trace.enabled = true;

@@ -1,0 +1,325 @@
+#include "sim/wire.h"
+
+#include <bit>
+#include <cstdio>
+#include <stdexcept>
+
+namespace disco::sim::wire {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("wire: " + what);
+}
+
+// --- scanner ---------------------------------------------------------------
+
+struct Scanner {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < s.size() &&
+           (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' || s[pos] == '\r'))
+      ++pos;
+  }
+  char peek() {
+    if (pos >= s.size()) fail("unexpected end of input");
+    return s[pos];
+  }
+  void expect(char c) {
+    if (pos >= s.size() || s[pos] != c)
+      fail(std::string("expected '") + c + "' at offset " + std::to_string(pos));
+    ++pos;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= s.size()) fail("unterminated string");
+      char c = s[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= s.size()) fail("unterminated escape");
+      const char e = s[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > s.size()) fail("truncated \\u escape");
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s[pos++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // The encoder only ever emits \u00XX (control bytes); tolerate the
+          // full BMP by truncating — nothing we wrote can hit that path.
+          out.push_back(static_cast<char>(v & 0xFF));
+          break;
+        }
+        default: fail(std::string("unknown escape \\") + e);
+      }
+    }
+  }
+
+  std::uint64_t parse_number() {
+    if (pos >= s.size() || s[pos] < '0' || s[pos] > '9')
+      fail("expected number at offset " + std::to_string(pos));
+    std::uint64_t v = 0;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+      v = v * 10 + static_cast<std::uint64_t>(s[pos] - '0');
+      ++pos;
+    }
+    return v;
+  }
+
+  Value parse_value(unsigned depth) {
+    if (depth > 8) fail("nesting too deep");
+    skip_ws();
+    Value v;
+    const char c = peek();
+    if (c == '{') {
+      v = parse_obj(depth);
+    } else if (c == '"') {
+      v.kind = Value::Kind::Str;
+      v.str = parse_string();
+    } else {
+      v.kind = Value::Kind::Num;
+      v.num = parse_number();
+    }
+    return v;
+  }
+
+  Value parse_obj(unsigned depth) {
+    Value v;
+    v.kind = Value::Kind::Obj;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      Value member = parse_value(depth + 1);
+      v.obj.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      const char t = peek();
+      if (t == ',') {
+        ++pos;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+};
+
+// --- CellResult field walk --------------------------------------------------
+
+/// One canonical enumeration of every CellResult field, shared by the
+/// encoder and the decoder so they can never drift apart.
+template <class F>
+void visit_result(CellResult& r, F&& f) {
+  f.str("workload", r.workload);
+  f.str("algorithm", r.algorithm);
+  std::uint64_t scheme = static_cast<std::uint64_t>(r.scheme);
+  f.u64("scheme", scheme);
+  r.scheme = static_cast<Scheme>(scheme);
+  f.u64("measured_cycles", r.measured_cycles);
+  f.u64("core_ops", r.core_ops);
+  f.u64("l1_misses", r.l1_misses);
+  f.dbl("avg_nuca_latency", r.avg_nuca_latency);
+  f.dbl("avg_miss_latency", r.avg_miss_latency);
+  f.dbl("avg_dram_latency", r.avg_dram_latency);
+  f.dbl("l2_miss_rate", r.l2_miss_rate);
+  f.dbl("avg_packet_latency", r.avg_packet_latency);
+  f.dbl("avg_stored_ratio", r.avg_stored_ratio);
+  f.u64("link_flits", r.link_flits);
+  f.u64("inflight_compressions", r.inflight_compressions);
+  f.u64("inflight_decompressions", r.inflight_decompressions);
+  f.u64("source_compressions", r.source_compressions);
+  f.u64("compression_aborts", r.compression_aborts);
+  f.u64("decompression_aborts", r.decompression_aborts);
+  f.u64("hidden_decomp_ops", r.hidden_decomp_ops);
+  f.u64("exposed_decomp_cycles", r.exposed_decomp_cycles);
+  f.dbl("energy.noc_dynamic_nj", r.energy.noc_dynamic_nj);
+  f.dbl("energy.noc_leakage_nj", r.energy.noc_leakage_nj);
+  f.dbl("energy.l2_dynamic_nj", r.energy.l2_dynamic_nj);
+  f.dbl("energy.l2_leakage_nj", r.energy.l2_leakage_nj);
+  f.dbl("energy.compressor_dynamic_nj", r.energy.compressor_dynamic_nj);
+  f.dbl("energy.compressor_leakage_nj", r.energy.compressor_leakage_nj);
+  f.dbl("energy.dram_nj", r.energy.dram_nj);
+  f.boolean("fault.enabled", r.fault.enabled);
+  f.u64("fault.link_bit_flips", r.fault.link_bit_flips);
+  f.u64("fault.llc_bit_flips", r.fault.llc_bit_flips);
+  f.u64("fault.flit_drops", r.fault.flit_drops);
+  f.u64("fault.flit_duplicates", r.fault.flit_duplicates);
+  f.u64("fault.engine_stalls", r.fault.engine_stalls);
+  f.u64("fault.engine_faults", r.fault.engine_faults);
+  f.u64("fault.crc_checks", r.fault.crc_checks);
+  f.u64("fault.corruptions_detected", r.fault.corruptions_detected);
+  f.u64("fault.silent_corruptions", r.fault.silent_corruptions);
+  f.u64("fault.flit_loss_timeouts", r.fault.flit_loss_timeouts);
+  f.u64("fault.nacks_sent", r.fault.nacks_sent);
+  f.u64("fault.retransmissions", r.fault.retransmissions);
+  f.u64("fault.retransmit_deliveries", r.fault.retransmit_deliveries);
+  f.u64("fault.backoff_cycles", r.fault.backoff_cycles);
+  f.u64("fault.duplicate_flits_dropped", r.fault.duplicate_flits_dropped);
+  f.u64("fault.duplicate_retransmissions", r.fault.duplicate_retransmissions);
+  f.u64("fault.unrecovered_deliveries", r.fault.unrecovered_deliveries);
+  f.u64("fault.engine_decode_errors", r.fault.engine_decode_errors);
+  f.u64("fault.engines_quarantined", r.fault.engines_quarantined);
+  f.boolean("invariants.enabled", r.invariants.enabled);
+  f.u64("invariants.events_checked", r.invariants.events_checked);
+  f.u64("invariants.cycles_checked", r.invariants.cycles_checked);
+  f.u64("invariants.violations", r.invariants.violations);
+  f.u64("invariants.credit_violations", r.invariants.credit_violations);
+  f.u64("invariants.conservation_violations",
+        r.invariants.conservation_violations);
+  f.u64("invariants.vc_state_violations", r.invariants.vc_state_violations);
+  f.u64("invariants.shadow_violations", r.invariants.shadow_violations);
+  f.u64("invariants.confidence_violations", r.invariants.confidence_violations);
+  f.u64("invariants.eject_violations", r.invariants.eject_violations);
+  f.u64("invariants.cache_violations", r.invariants.cache_violations);
+  f.str("invariants.first_violation", r.invariants.first_violation);
+  f.str("trace_text", r.trace_text);
+}
+
+struct Encoder {
+  std::string out;
+  bool first = true;
+
+  void key(const char* name) {
+    out.push_back(first ? '{' : ',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+  }
+  void str(const char* name, const std::string& v) {
+    key(name);
+    append_json_string(out, v);
+  }
+  void u64(const char* name, const std::uint64_t& v) {
+    key(name);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+    out += buf;
+  }
+  void dbl(const char* name, const double& v) {
+    // Bit pattern, not decimal text: exact round trip by construction.
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    u64(name, bits);
+  }
+  void boolean(const char* name, const bool& v) {
+    const std::uint64_t b = v ? 1 : 0;
+    u64(name, b);
+  }
+};
+
+struct Decoder {
+  const Value& obj;
+
+  const Value& get(const char* name, Value::Kind kind) const {
+    const Value* v = obj.find(name);
+    if (v == nullptr) fail(std::string("missing field ") + name);
+    if (v->kind != kind) fail(std::string("wrong kind for field ") + name);
+    return *v;
+  }
+  void str(const char* name, std::string& v) const {
+    v = get(name, Value::Kind::Str).str;
+  }
+  void u64(const char* name, std::uint64_t& v) const {
+    v = get(name, Value::Kind::Num).num;
+  }
+  void dbl(const char* name, double& v) const {
+    v = std::bit_cast<double>(get(name, Value::Kind::Num).num);
+  }
+  void boolean(const char* name, bool& v) const {
+    v = get(name, Value::Kind::Num).num != 0;
+  }
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::Obj) return nullptr;
+  for (const auto& [k, v] : obj)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::uint64_t Value::num_or(std::string_view key, std::uint64_t dflt) const {
+  const Value* v = find(key);
+  return v != nullptr && v->kind == Kind::Num ? v->num : dflt;
+}
+
+std::string Value::str_or(std::string_view key, std::string_view dflt) const {
+  const Value* v = find(key);
+  return v != nullptr && v->kind == Kind::Str ? v->str : std::string(dflt);
+}
+
+Value parse_object(std::string_view text) {
+  Scanner sc{text};
+  sc.skip_ws();
+  Value v = sc.parse_obj(0);
+  sc.skip_ws();
+  if (sc.pos != text.size()) fail("trailing garbage after object");
+  return v;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string encode_result(const CellResult& r) {
+  CellResult copy = r;
+  Encoder enc;
+  visit_result(copy, enc);
+  enc.out.push_back('}');
+  return enc.out;
+}
+
+CellResult decode_result(const Value& obj) {
+  if (obj.kind != Value::Kind::Obj) fail("result is not an object");
+  CellResult r;
+  visit_result(r, Decoder{obj});
+  return r;
+}
+
+}  // namespace disco::sim::wire

@@ -172,6 +172,17 @@ void Tracer::write_canonical(std::ostream& os) const {
   for (const TraceEvent& e : snapshot()) os << canonical_line(e) << '\n';
 }
 
+void Tracer::write_canonical_tail(std::ostream& os,
+                                  std::size_t max_events) const {
+  const std::vector<TraceEvent> all = snapshot();
+  const std::size_t skip = all.size() > max_events ? all.size() - max_events : 0;
+  if (dropped_events() + skip > 0)
+    os << "# tail: last " << (all.size() - skip) << " of " << total_events()
+       << " captured events\n";
+  for (std::size_t i = skip; i < all.size(); ++i)
+    os << canonical_line(all[i]) << '\n';
+}
+
 void Tracer::write_chrome_json(std::ostream& os) const {
   os << "{\"traceEvents\":[\n";
   bool first = true;

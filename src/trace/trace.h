@@ -129,6 +129,10 @@ class Tracer {
   /// line-by-line (tools/trace_diff, golden-trace tests).
   void write_canonical(std::ostream& os) const;
 
+  /// Canonical text of only the newest `max_events` retained events — the
+  /// flight-recorder tail a postmortem black box embeds.
+  void write_canonical_tail(std::ostream& os, std::size_t max_events) const;
+
   /// Chrome trace_event JSON (load in Perfetto / chrome://tracing): one
   /// instant event per probe, pid = node, tid = port.
   void write_chrome_json(std::ostream& os) const;

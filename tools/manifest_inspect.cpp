@@ -1,0 +1,61 @@
+// Checkpoint-manifest inspector: summarize (or dump) a sweep supervisor
+// manifest.jsonl — per-status counts, attempts, errors — so a failed nightly
+// sweep can be triaged without parsing JSONL by hand.
+//
+// Usage: manifest_inspect <manifest.jsonl> [--cells]
+//   --cells   also print one line per journaled cell
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "sim/supervisor.h"
+
+using namespace disco;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <manifest.jsonl> [--cells]\n", argv[0]);
+    return 2;
+  }
+  const bool show_cells = argc > 2 && std::strcmp(argv[2], "--cells") == 0;
+
+  sim::Manifest m;
+  try {
+    m = sim::load_manifest(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("manifest: %s\n", argv[1]);
+  std::printf("sweep: %zu cells, base_seed %llu, shard %u/%u\n", m.cells,
+              static_cast<unsigned long long>(m.base_seed), m.shard_index,
+              m.shard_count);
+
+  std::map<std::string, std::size_t> by_status;
+  unsigned retried = 0;
+  for (const auto& e : m.entries) {
+    ++by_status[to_string(e.status)];
+    if (e.attempts > 1) ++retried;
+  }
+  std::printf("journaled: %zu of %zu cells (%zu outstanding)\n",
+              m.entries.size(), m.cells,
+              m.cells >= m.entries.size() ? m.cells - m.entries.size() : 0);
+  for (const auto& [status, n] : by_status)
+    std::printf("  %-12s %zu\n", status.c_str(), n);
+  if (retried > 0) std::printf("  (%u cells needed retries)\n", retried);
+
+  if (show_cells) {
+    std::printf("\n%-6s %-6s %-12s %-8s %s\n", "cell", "group", "status",
+                "attempts", "error");
+    for (const auto& e : m.entries)
+      std::printf("%-6zu %-6zu %-12s %-8u %s\n", e.cell, e.group,
+                  to_string(e.status), e.attempts, e.error.c_str());
+  }
+
+  // Exit 1 when any journaled cell is not Ok, so scripts can gate on it.
+  for (const auto& e : m.entries)
+    if (e.status != sim::CellStatus::Ok) return 1;
+  return 0;
+}
