@@ -7,7 +7,15 @@
 //
 // The bench exits nonzero if any delivered block was silently corrupt —
 // the invariant the CI fault-smoke job asserts.
+//
+// A second table measures graceful degradation under permanent hardware
+// failure: k = 0..4 staggered mid-run kills (DISCO engine, link, LLC bank,
+// whole router tile — the mesh stays connected throughout), reporting
+// latency/energy relative to the healthy run of the same traffic plus the
+// reroute / severed-recovery / synthesized-completion counters.
 #include "bench_util.h"
+
+#include "fault/fault.h"
 
 using namespace disco;
 
@@ -113,15 +121,88 @@ int main(int argc, char** argv) {
                TablePrinter::fmt(lat / lat_clean, 3)});
   }
   t.print(std::cout);
+
+  // --- graceful degradation under permanent failures -----------------------
+  // Staggered kills inside the measurement window (warmup ends at cycle
+  // 15000): each row k applies the first k of these. Node 6's router, the
+  // node 9 east link, node 10's bank and node 5's engines leave the 4x4
+  // mesh connected, so every surviving tile stays reachable.
+  const std::vector<HardFaultEvent> kills = fault::parse_hard_fault_spec(
+      "engine@22000:5,link@30000:9:E,llc@38000:10,router@46000:6");
+
+  std::vector<sim::SweepCell> hard_cells;
+  for (std::size_t w = 0; w < profiles.size(); ++w) {
+    for (std::size_t k = 0; k <= kills.size(); ++k) {
+      sim::SweepCell c{base, profiles[w], opt};
+      c.cfg.fault = sweep_opt.fault;
+      c.cfg.fault.enabled = true;  // k = 0: recovery layer live, nothing dies
+      c.cfg.fault.hard_faults.assign(kills.begin(), kills.begin() + k);
+      c.group = w;
+      hard_cells.push_back(std::move(c));
+    }
+  }
+  auto hard_opt = sweep_opt;
+  hard_opt.progress_label = "hard-fault";
+  const auto hard_sweep = sim::run_sweep(hard_cells, hard_opt);
+
+  std::printf("\nGraceful degradation: %zu staggered permanent kills "
+              "(engine, link, LLC bank, router tile)\n", kills.size());
+  TablePrinter ht({"Dead", "Last kill", "Reroutes", "Severed", "Synth",
+                   "Drops", "BypassRetx", "Silent", "Latency/clean",
+                   "Energy/clean"});
+  const std::size_t hk = kills.size() + 1;
+  bool all_hard_rows = true;
+  for (std::size_t k = 0; k < hk; ++k) {
+    sim::FaultSummary agg;
+    double lat = 0, lat_clean = 0, nj = 0, nj_clean = 0;
+    std::size_t rows = 0;
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+      const auto rs = bench::grid_row(hard_sweep, w * hk, hk);
+      if (rs.empty()) continue;
+      const sim::FaultSummary& f = rs[k]->fault;
+      agg.reroutes += f.reroutes;
+      agg.severed_packets += f.severed_packets;
+      agg.synth_completions += f.synth_completions;
+      agg.unreachable_drops += f.unreachable_drops;
+      agg.dead_component_drops += f.dead_component_drops;
+      agg.bypass_retransmits += f.bypass_retransmits;
+      agg.silent_corruptions += f.silent_corruptions;
+      lat += rs[k]->avg_nuca_latency;
+      lat_clean += rs[0]->avg_nuca_latency;
+      nj += rs[k]->energy.subsystem_nj();
+      nj_clean += rs[0]->energy.subsystem_nj();
+      ++rows;
+    }
+    if (rows == 0) {
+      all_hard_rows = false;
+      continue;
+    }
+    total_silent += agg.silent_corruptions;
+    ht.add_row({std::to_string(k),
+                k == 0 ? "-" : to_string(kills[k - 1].kind),
+                std::to_string(agg.reroutes),
+                std::to_string(agg.severed_packets),
+                std::to_string(agg.synth_completions),
+                std::to_string(agg.unreachable_drops +
+                               agg.dead_component_drops),
+                std::to_string(agg.bypass_retransmits),
+                std::to_string(agg.silent_corruptions),
+                TablePrinter::fmt(lat / lat_clean, 3),
+                TablePrinter::fmt(nj / nj_clean, 3)});
+  }
+  ht.print(std::cout);
+
   std::printf("\nend-to-end check: every delivered block is CRC-verified "
               "against its ground truth;\nsilent corruptions found: %llu\n",
               static_cast<unsigned long long>(total_silent));
   bench::print_sweep_summary(sweep);
+  bench::print_sweep_summary(hard_sweep);
   if (total_silent > 0) {
     std::fprintf(stderr, "FAIL: %llu silently corrupt block(s) delivered\n",
                  static_cast<unsigned long long>(total_silent));
     return 1;
   }
   if (const int rc = bench::exit_code(sweep); rc != 0) return rc;
-  return all_rows ? 0 : 1;
+  if (const int rc = bench::exit_code(hard_sweep); rc != 0) return rc;
+  return all_rows && all_hard_rows ? 0 : 1;
 }

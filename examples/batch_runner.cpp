@@ -37,6 +37,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   cfg.fault = sweep_opt.fault;
+  try {
+    // Fail fast on degenerate meshes / out-of-mesh hard-fault targets before
+    // spawning worker threads; every cell shares this base config.
+    cfg.validate();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   const std::string out_path = positional.size() > 1 ? positional[1] : "results.json";
 
   std::vector<std::string> names(

@@ -29,6 +29,15 @@ class DelayedInjector {
 
   bool idle() const { return queue_.empty(); }
 
+  /// Hard-fault drain: move every pending packet out (FIFO order) and clear
+  /// the queue. The system resolves the orphans against the live topology.
+  void take_all(std::vector<noc::PacketPtr>& out) {
+    while (!queue_.empty()) {
+      out.push_back(queue_.top().pkt);
+      queue_.pop();
+    }
+  }
+
  private:
   struct Entry {
     Cycle when;

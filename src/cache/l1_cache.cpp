@@ -261,6 +261,25 @@ void L1Cache::deliver(noc::PacketPtr pkt, Cycle now) {
 
 void L1Cache::tick(Cycle now) { out_.tick(now); }
 
+bool L1Cache::expects(Msg m, Addr addr) const {
+  switch (m) {
+    case Msg::DataS:
+    case Msg::DataE:
+    case Msg::DataM:
+      return mshrs_.count(addr) != 0;
+    case Msg::WBAck:
+      return evict_buffer_.count(addr) != 0;
+    default:
+      return true;  // Inv/Recall are handled statelessly
+  }
+}
+
+void L1Cache::hard_fail(std::vector<noc::PacketPtr>& orphans) {
+  out_.take_all(orphans);
+  mshrs_.clear();
+  evict_buffer_.clear();
+}
+
 bool L1Cache::idle() const {
   return mshrs_.empty() && evict_buffer_.empty() && out_.idle();
 }

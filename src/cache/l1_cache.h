@@ -54,6 +54,16 @@ class L1Cache final : public noc::PacketSink {
   bool idle() const;
   std::size_t mshr_in_use() const { return mshrs_.size(); }
 
+  /// True when a synthesized `m` for `addr` has a consumer here (an MSHR for
+  /// data grants, an eviction-buffer entry for WBAck). Guards the system's
+  /// hard-fault completion synthesis against double delivery.
+  bool expects(Msg m, Addr addr) const;
+
+  /// This L1's tile suffered a permanent failure: hand every pending
+  /// outbound message (acks and writebacks live banks may be waiting on) to
+  /// the caller and abandon all local state. The cache never ticks again.
+  void hard_fail(std::vector<noc::PacketPtr>& orphans);
+
   /// Test hook: peek at a cached line.
   const L1Line* peek(Addr addr) { return array_.lookup(addr); }
 

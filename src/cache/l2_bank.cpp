@@ -485,6 +485,35 @@ void L2Bank::tick(Cycle now) {
 
 bool L2Bank::idle() const { return txns_.empty() && replay_.empty() && out_.idle(); }
 
+bool L2Bank::expects(Msg m, Addr addr) const {
+  auto it = txns_.find(addr);
+  if (it == txns_.end()) return false;
+  const Txn& t = it->second;
+  switch (m) {
+    case Msg::InvAck:
+      return t.phase == Txn::Phase::InvWait && t.pending_acks > 0;
+    case Msg::RecallData:
+    case Msg::RecallAck:
+      return t.phase == Txn::Phase::RecallWait;
+    case Msg::MemData:
+      return t.phase == Txn::Phase::MemWait;
+    default:
+      return true;
+  }
+}
+
+void L2Bank::hard_fail(std::vector<noc::PacketPtr>& orphans) {
+  out_.take_all(orphans);
+  for (auto& [addr, t] : txns_) {
+    if (t.req != nullptr) orphans.push_back(std::move(t.req));
+    for (auto& q : t.queue) orphans.push_back(std::move(q));
+  }
+  for (auto& pkt : replay_) orphans.push_back(std::move(pkt));
+  txns_.clear();
+  replay_.clear();
+  space_waiters_.clear();
+}
+
 void L2Bank::dump_transactions(std::FILE* out) const {
   static const char* kind_names[] = {"Request", "PutAbsorb", "Eviction"};
   static const char* phase_names[] = {"Start", "RecallWait", "InvWait",

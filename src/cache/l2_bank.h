@@ -60,6 +60,19 @@ class L2Bank final : public noc::PacketSink {
   std::size_t active_transactions() const { return txns_.size(); }
   const SegmentedArray& array() const { return array_; }
 
+  /// True when a synthesized `m` for `addr` has a waiting transaction in the
+  /// matching phase. Guards the system's hard-fault completion synthesis
+  /// against double delivery (the handlers assert on unexpected acks).
+  bool expects(Msg m, Addr addr) const;
+
+  /// This bank suffered a permanent failure: hand back every pending
+  /// outbound message plus every unserviced request (active, queued and
+  /// replaying) so the system can synthesize their completions, then
+  /// abandon all transaction state. Stored lines are lost — later misses
+  /// refill from the DRAM image, so dirty lines silently revert (the
+  /// documented degraded-by-design data-loss window of a bank kill).
+  void hard_fail(std::vector<noc::PacketPtr>& orphans);
+
   /// Diagnostic dump of in-flight transactions (one line each).
   void dump_transactions(std::FILE* out) const;
 

@@ -29,6 +29,12 @@ class MemCtrl final : public noc::PacketSink {
 
   bool idle() const { return out_.idle(); }
 
+  /// This controller's tile suffered a permanent failure: hand back the
+  /// pending fill responses (live banks are parked on them) and stop. The
+  /// backing store stays readable — it is the simulation's ground-truth
+  /// DRAM image, which the system consults to synthesize completions.
+  void hard_fail(std::vector<noc::PacketPtr>& orphans) { out_.take_all(orphans); }
+
   /// Direct backing-store access (tests, golden-model checks).
   const BlockBytes& read_block(Addr addr);
   void write_block(Addr addr, const BlockBytes& data);

@@ -2,9 +2,11 @@
 
 #include <cassert>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/interrupt.h"
+#include "fault/fault.h"
 #include "compress/sc2.h"
 #include "trace/invariants.h"
 
@@ -53,9 +55,19 @@ CmpSystem::CmpSystem(const SystemConfig& cfg,
     : cfg_(cfg),
       algo_(compress::make_algorithm(cfg.algorithm)),
       synth_(profile.values, cfg.seed) {
+  cfg_.validate();
   const std::uint32_t n = cfg_.noc.num_nodes();
   assert(n <= 64 && "directory sharer bitmask limits the mesh to 64 tiles");
   maybe_retrain_sc2(*algo_, synth_);
+
+  // A hard-fault schedule implies fault mode: severed packets ride the
+  // end-to-end recovery layer, and exports gate degraded fields on it.
+  if (cfg_.fault.hard_enabled()) {
+    cfg_.fault.enabled = true;
+    hard_schedule_ = fault::build_hard_fault_schedule(
+        cfg_.fault, cfg_.seed, cfg_.noc.mesh_cols, cfg_.noc.mesh_rows,
+        std::numeric_limits<std::uint64_t>::max());
+  }
 
   if (cfg_.fault.enabled) {
     injector_ = std::make_unique<fault::FaultInjector>(
@@ -84,6 +96,10 @@ CmpSystem::CmpSystem(const SystemConfig& cfg,
   }
   network_ = std::make_unique<noc::Network>(cfg_.noc, setup.ni, noc_stats_, factory);
   if (injector_ != nullptr) network_->set_fault_injector(injector_.get());
+  if (cfg_.fault.hard_enabled()) {
+    network_->set_unreachable_handler(
+        [this](const noc::PacketPtr& p, Cycle at) { resolve_protocol_orphan(p, at); });
+  }
 
   if (cfg_.trace.active()) {
     tracer_ = std::make_unique<trace::Tracer>(cfg_.trace);
@@ -261,11 +277,25 @@ void CmpSystem::functional_warmup(std::uint64_t ops_per_core) {
 
 void CmpSystem::tick() {
   ++cycle_;
+  if (next_hard_fault_ < hard_schedule_.size()) fire_hard_faults();
   network_->tick(cycle_);
-  for (auto& l1 : l1s_) l1->tick(cycle_);
-  for (auto& l2 : l2s_) l2->tick(cycle_);
-  for (auto& mem : mems_) mem->tick(cycle_);
-  for (auto& core : cores_) core->tick(cycle_);
+  if (!any_node_dead_) {
+    for (auto& l1 : l1s_) l1->tick(cycle_);
+    for (auto& l2 : l2s_) l2->tick(cycle_);
+    for (auto& mem : mems_) mem->tick(cycle_);
+    for (auto& core : cores_) core->tick(cycle_);
+  } else {
+    const std::uint32_t n = cfg_.noc.num_nodes();
+    for (NodeId i = 0; i < n; ++i) {
+      if (network_->node_dead(i)) continue;
+      l1s_[i]->tick(cycle_);
+      l2s_[i]->tick(cycle_);
+    }
+    for (std::size_t i = 0; i < mems_.size(); ++i)
+      if (!network_->node_dead(mem_nodes_[i])) mems_[i]->tick(cycle_);
+    for (NodeId i = 0; i < n; ++i)
+      if (!network_->node_dead(i)) cores_[i]->tick(cycle_);
+  }
   if (checker_ != nullptr)
     checker_->end_of_cycle(cycle_, network_->inflight_flits());
   if ((cycle_ & 0xFF) == 0) check_cancel();
@@ -282,12 +312,15 @@ void CmpSystem::check_cancel() const {
 bool CmpSystem::work_outstanding() const {
   if (network_->inflight_flits() > 0 || network_->pending_injections() > 0)
     return true;
-  for (const auto& l1 : l1s_)
-    if (!l1->idle()) return true;
-  for (const auto& l2 : l2s_)
-    if (!l2->idle()) return true;
-  for (const auto& mem : mems_)
-    if (!mem->idle()) return true;
+  const std::uint32_t n = cfg_.noc.num_nodes();
+  for (NodeId i = 0; i < n; ++i) {
+    if (any_node_dead_ && network_->node_dead(i)) continue;
+    if (!l1s_[i]->idle() || !l2s_[i]->idle()) return true;
+  }
+  for (std::size_t i = 0; i < mems_.size(); ++i) {
+    if (any_node_dead_ && network_->node_dead(mem_nodes_[i])) continue;
+    if (!mems_[i]->idle()) return true;
+  }
   return false;
 }
 
@@ -366,22 +399,164 @@ void CmpSystem::run(Cycle cycles) {
 }
 
 bool CmpSystem::drain(Cycle max_cycles) {
+  const std::uint32_t n = cfg_.noc.num_nodes();
   for (Cycle i = 0; i < max_cycles; ++i) {
     ++cycle_;
+    if (next_hard_fault_ < hard_schedule_.size()) fire_hard_faults();
     network_->tick(cycle_);
-    for (auto& l1 : l1s_) l1->tick(cycle_);
-    for (auto& l2 : l2s_) l2->tick(cycle_);
-    for (auto& mem : mems_) mem->tick(cycle_);
+    for (NodeId j = 0; j < n; ++j) {
+      if (any_node_dead_ && network_->node_dead(j)) continue;
+      l1s_[j]->tick(cycle_);
+      l2s_[j]->tick(cycle_);
+    }
+    for (std::size_t j = 0; j < mems_.size(); ++j)
+      if (!(any_node_dead_ && network_->node_dead(mem_nodes_[j])))
+        mems_[j]->tick(cycle_);
     // No core ticks: stop injecting new work.
     if (checker_ != nullptr)
       checker_->end_of_cycle(cycle_, network_->inflight_flits());
-    bool quiet = network_->quiescent();
-    for (auto& l1 : l1s_) quiet = quiet && l1->idle();
-    for (auto& l2 : l2s_) quiet = quiet && l2->idle();
-    for (auto& mem : mems_) quiet = quiet && mem->idle();
+    const bool quiet = network_->quiescent() && !work_outstanding();
     if (quiet) return true;
   }
   return false;
+}
+
+// ---------------------------------------------------------------------------
+// Permanent hardware failure (graceful degradation)
+
+void CmpSystem::fire_hard_faults() {
+  while (next_hard_fault_ < hard_schedule_.size() &&
+         hard_schedule_[next_hard_fault_].at <= cycle_) {
+    const HardFaultEvent e = hard_schedule_[next_hard_fault_++];
+    if (!network_->apply_hard_fault(e, cycle_)) continue;  // already dead
+    ++hard_faults_applied_;
+    if (e.kind == HardFaultKind::Router) {
+      any_node_dead_ = true;
+      on_tile_killed(static_cast<NodeId>(e.node), cycle_);
+    } else if (e.kind == HardFaultKind::LlcBank) {
+      std::vector<noc::PacketPtr> orphans;
+      l2s_[e.node]->hard_fail(orphans);
+      for (const auto& p : orphans) resolve_protocol_orphan(p, cycle_);
+    }
+  }
+}
+
+void CmpSystem::on_tile_killed(NodeId n, Cycle at) {
+  std::vector<noc::PacketPtr> orphans;
+  l1s_[n]->hard_fail(orphans);
+  l2s_[n]->hard_fail(orphans);
+  for (std::size_t i = 0; i < mems_.size(); ++i)
+    if (mem_nodes_[i] == n) mems_[i]->hard_fail(orphans);
+  for (const auto& p : orphans) resolve_protocol_orphan(p, at);
+}
+
+void CmpSystem::resolve_protocol_orphan(const noc::PacketPtr& pkt, Cycle at) {
+  using cache::Msg;
+  if (pkt == nullptr || pkt->nack_for != 0) return;  // NACKs carry no state
+  const noc::Topology& topo = network_->topology();
+  const Msg m = cache::msg_of(*pkt);
+  const Addr a = pkt->addr;
+
+  auto synthesize = [&](Msg sm, NodeId from, UnitKind from_unit, NodeId to,
+                        UnitKind to_unit, const BlockBytes* data,
+                        noc::PacketSink& sink) {
+    noc::PacketPtr resp =
+        cache::make_packet(network_->ni(to).mint_protocol_id(), sm, a, from,
+                           from_unit, to, to_unit, at);
+    if (data != nullptr) resp->data = *data;
+    ++noc_stats_.synth_completions;
+    sink.deliver(std::move(resp), at);
+  };
+
+  switch (m) {
+    // --- requests whose service component died: synthesize the completion
+    // the home / memory would have produced, from the ground-truth DRAM
+    // image. The expects() guards make resolution idempotent (a clone chain
+    // or a late straggler resolves at most once).
+    case Msg::GetS:
+    case Msg::GetM: {
+      if (!topo.unit_alive(pkt->src, UnitKind::Core)) return;
+      cache::L1Cache& l1 = *l1s_[pkt->src];
+      const Msg gm = m == Msg::GetS ? Msg::DataE : Msg::DataM;
+      if (!l1.expects(gm, a)) return;
+      synthesize(gm, pkt->dst, UnitKind::L2Bank, pkt->src, UnitKind::Core,
+                 &mem_for(a).read_block(a), l1);
+      return;
+    }
+    case Msg::PutM:
+    case Msg::PutE: {
+      // Preserve the dirty block in the DRAM image before acking.
+      if (m == Msg::PutM) mem_for(a).write_block(a, pkt->data);
+      if (!topo.unit_alive(pkt->src, UnitKind::Core)) return;
+      cache::L1Cache& l1 = *l1s_[pkt->src];
+      if (!l1.expects(Msg::WBAck, a)) return;
+      synthesize(Msg::WBAck, pkt->dst, UnitKind::L2Bank, pkt->src,
+                 UnitKind::Core, nullptr, l1);
+      return;
+    }
+    case Msg::MemRead: {
+      if (!topo.unit_alive(pkt->src, UnitKind::L2Bank)) return;
+      cache::L2Bank& bank = *l2s_[pkt->src];
+      if (!bank.expects(Msg::MemData, a)) return;
+      synthesize(Msg::MemData, pkt->dst, UnitKind::MemCtrl, pkt->src,
+                 UnitKind::L2Bank, &mem_for(a).read_block(a), bank);
+      return;
+    }
+    case Msg::MemWB:
+      mem_for(a).write_block(a, pkt->data);  // the DRAM image is ground truth
+      return;
+    case Msg::Inv:
+    case Msg::Recall: {
+      // The target L1 died before it could answer; its copy is gone with
+      // the tile. Resolve the waiting home as a clean invalidation — a
+      // dirty recalled line reverts to the home's copy, the documented
+      // degraded-by-design loss window of a tile kill.
+      if (!topo.unit_alive(pkt->src, UnitKind::L2Bank)) return;
+      cache::L2Bank& bank = *l2s_[pkt->src];
+      const Msg ack = m == Msg::Inv ? Msg::InvAck : Msg::RecallAck;
+      if (!bank.expects(ack, a)) return;
+      synthesize(ack, pkt->dst, UnitKind::Core, pkt->src, UnitKind::L2Bank,
+                 nullptr, bank);
+      return;
+    }
+    // --- responses already formed by a now-dead or cut-off component:
+    // hand them to the waiting consumer directly while it is still alive
+    // (models the repair path recovering in-flight completions; without it
+    // every survivor parked on a dead ack hangs into the watchdog). ---
+    case Msg::DataS:
+    case Msg::DataE:
+    case Msg::DataM:
+    case Msg::WBAck: {
+      if (!topo.unit_alive(pkt->dst, UnitKind::Core)) return;
+      cache::L1Cache& l1 = *l1s_[pkt->dst];
+      if (!l1.expects(m, a)) return;
+      // An earlier transmission of this completion may sit parked at the
+      // consumer's NI (corrupted arrival awaiting a retransmit that will now
+      // never come): retire that recovery state, or the dead-peer fallback
+      // would deliver the transaction a second time.
+      network_->ni(pkt->dst).note_external_completion(
+          pkt->retransmit_of != 0 ? pkt->retransmit_of : pkt->id);
+      ++noc_stats_.synth_completions;
+      l1.deliver(pkt, at);
+      return;
+    }
+    case Msg::InvAck:
+    case Msg::RecallAck:
+    case Msg::RecallData:
+    case Msg::MemData: {
+      if (topo.unit_alive(pkt->dst, UnitKind::L2Bank) &&
+          l2s_[pkt->dst]->expects(m, a)) {
+        network_->ni(pkt->dst).note_external_completion(
+            pkt->retransmit_of != 0 ? pkt->retransmit_of : pkt->id);
+        ++noc_stats_.synth_completions;
+        l2s_[pkt->dst]->deliver(pkt, at);
+      } else if (m == Msg::RecallData) {
+        // Last live copy of a dirty block: park it in the DRAM image.
+        mem_for(a).write_block(a, pkt->data);
+      }
+      return;
+    }
+  }
 }
 
 void CmpSystem::reset_stats() {

@@ -103,6 +103,14 @@ class CmpSystem {
 
   Cycle now() const { return cycle_; }
   const SystemConfig& config() const { return cfg_; }
+  /// Hard faults actually applied so far (survives reset_stats, unlike the
+  /// per-phase NocStats kill counters).
+  std::uint64_t hard_faults_applied() const { return hard_faults_applied_; }
+  /// The materialized deterministic kill schedule (sorted; empty unless
+  /// cfg.fault.hard_enabled()).
+  const std::vector<HardFaultEvent>& hard_fault_schedule() const {
+    return hard_schedule_;
+  }
   const noc::NocStats& noc_stats() const { return noc_stats_; }
   const cache::CacheStats& cache_stats() const { return cache_stats_; }
   const compress::Algorithm& algorithm() const { return *algo_; }
@@ -138,6 +146,20 @@ class CmpSystem {
   void check_cancel() const;
   void check_progress();
   bool work_outstanding() const;
+  /// Apply every scheduled hard fault due at the current cycle (called
+  /// before the network tick, single-threaded: schedules replay bit-exactly
+  /// under any thread count).
+  void fire_hard_faults();
+  /// A whole tile died: drain its L1/L2/mem-ctrl state and resolve the
+  /// orphaned protocol messages against the surviving components.
+  void on_tile_killed(NodeId n, Cycle at);
+  /// Unified dead-component completion synthesis: a protocol message that
+  /// provably cannot be serviced (doomed in-network, or orphaned inside a
+  /// killed unit) is resolved here so the surviving requester/home makes
+  /// forward progress instead of hanging into the watchdog. Ground-truth
+  /// data comes from the DRAM image; the stale-data windows this opens are
+  /// the documented degraded-by-design cost of losing a component.
+  void resolve_protocol_orphan(const noc::PacketPtr& pkt, Cycle at);
   void warm_access(NodeId node, Addr addr, bool is_store, std::uint64_t value);
   cache::MemCtrl& mem_for(Addr addr) {
     return *mems_[(addr / kBlockBytes) % mems_.size()];
@@ -162,6 +184,12 @@ class CmpSystem {
   std::vector<std::unique_ptr<Core>> cores_;
 
   Cycle cycle_ = 0;
+
+  // Hard-fault (graceful degradation) state.
+  std::vector<HardFaultEvent> hard_schedule_;  ///< sorted by (at, kind, node, dir)
+  std::size_t next_hard_fault_ = 0;
+  std::uint64_t hard_faults_applied_ = 0;
+  bool any_node_dead_ = false;  ///< at least one whole tile is gone
 
   // Cooperative cancellation + no-progress watchdog state.
   const std::atomic<bool>* cancel_ = nullptr;

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 
@@ -104,6 +105,29 @@ struct CompressionTimingConfig {
 /// bench quantifies).
 enum class CrcMode : std::uint8_t { Crc32, Fold8 };
 
+/// A permanently failing component class (hard faults, as opposed to the
+/// transient bit flips/drops of the injector). Listed in spec-grammar order.
+enum class HardFaultKind : std::uint8_t {
+  Link,        ///< one mesh link, both directions severed
+  Router,      ///< a whole tile: router + NI + core + L1 + L2 bank (+ mem ctrl)
+  DiscoEngine, ///< all DISCO engines of one router; its NI goes to bypass mode
+  LlcBank,     ///< one L2 bank; its router keeps forwarding traffic
+};
+
+const char* to_string(HardFaultKind k);
+
+/// One scheduled permanent failure. `dir` is meaningful only for Link kills
+/// (0=N 1=S 2=E 3=W, the port leaving `node`). Cycles are absolute
+/// simulation cycles (warmup included), applied before the network tick.
+struct HardFaultEvent {
+  HardFaultKind kind = HardFaultKind::Link;
+  std::uint64_t at = 0;
+  std::uint32_t node = 0;
+  std::uint8_t dir = 0;
+
+  bool operator==(const HardFaultEvent&) const = default;
+};
+
 /// Deterministic fault injection + detect-and-recover machinery. Off by
 /// default; when `enabled` is false no checksum is computed, no verifier
 /// runs and all outputs are bit-identical to a build without the injector.
@@ -126,6 +150,20 @@ struct FaultConfig {
   std::uint32_t retry_backoff_base = 16;        ///< cycles; doubles per retry
   std::uint32_t reassembly_timeout_cycles = 512;///< incomplete packet -> assume flit loss
   std::uint32_t nack_retry_interval = 1024;     ///< re-NACK a parked block after this long
+
+  // --- permanent (hard) faults ---
+  /// Explicit kill schedule (parse_hard_fault_spec / --hard-fault). The
+  /// system sorts and applies these at their cycle; a hard fault forces
+  /// `enabled` so the end-to-end recovery layer is live for severed packets.
+  std::vector<HardFaultEvent> hard_faults;
+  /// Rate-based schedule: per-component permanent-failure probability per
+  /// cycle; each component draws one exponential failure time from the seed
+  /// (--hard-fault-rate). 0 = off.
+  double hard_fault_rate = 0.0;
+
+  bool hard_enabled() const {
+    return !hard_faults.empty() || hard_fault_rate > 0.0;
+  }
 };
 
 /// Deterministic event tracing + streaming invariant checking. Off by
@@ -139,8 +177,8 @@ struct TraceConfig {
   /// checker: credit conservation, flit conservation, VC state legality,
   /// Eq.1/Eq.2 confidence bounds, shadow-packet lifetime.
   bool check_invariants = false;
-  /// Comma-separated capture categories (noc, credit, ni, disco, cache);
-  /// empty = all. Applies to the ring only, never to the checker feed.
+  /// Comma-separated capture categories (noc, credit, ni, disco, cache,
+  /// topo); empty = all. Applies to the ring only, never to the checker feed.
   std::string filter;
   /// Chrome trace_event JSON output file; in sweeps this is a prefix and
   /// each cell writes <prefix>-cell<i>.json. Empty = no file.
@@ -182,6 +220,15 @@ struct SystemConfig {
 
   /// Human-readable one-line summary for bench headers.
   std::string summary() const;
+
+  /// Reject configurations the simulator cannot represent before they reach
+  /// undefined behaviour (mesh_cols = 0 would hit `n % cols` in
+  /// MeshShape::x_of; cols*rows overflow would wrap the node count; the
+  /// directory sharer bitmask caps the mesh at 64 tiles). Also validates the
+  /// hard-fault schedule against the mesh geometry. Throws
+  /// std::invalid_argument with a precise message; entry points (sweep,
+  /// benches, batch_runner) call this before constructing a system.
+  void validate() const;
 };
 
 }  // namespace disco

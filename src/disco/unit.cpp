@@ -197,6 +197,24 @@ void DiscoUnit::on_shadow_departed(Cycle now, const VcId& v) {
   }
 }
 
+void DiscoUnit::on_hard_fault(Cycle now) {
+  for (Engine& eng : engines_) {
+    if (eng.busy) {
+      ++(eng.decompress ? stats_.decompression_aborts
+                        : stats_.compression_aborts);
+      ++window_aborts_;
+      if (auto* t = router_.tracer())
+        t->emit(now, router_.id(),
+                eng.decompress ? trace::Event::DecompAbort
+                               : trace::Event::CompAbort,
+                static_cast<std::uint8_t>(eng.vc.port), eng.vc.vc,
+                eng.pkt->id, 0);
+      release(eng, now);
+    }
+    eng.quarantined = true;
+  }
+}
+
 void DiscoUnit::tick(Cycle now) {
   if (cfg_.adaptive_thresholds && now >= next_adapt_) adapt_thresholds(now);
   for (Engine& eng : engines_) {

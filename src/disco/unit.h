@@ -38,6 +38,9 @@ class DiscoUnit final : public noc::RouterExtension {
   void after_allocation(Cycle now, const std::vector<noc::VcId>& losers) override;
   void on_shadow_departed(Cycle now, const noc::VcId& vc) override;
   void tick(Cycle now) override;
+  /// Permanent engine-array failure: abort everything in flight and
+  /// quarantine every engine forever (the NI flips to uncompressed bypass).
+  void on_hard_fault(Cycle now) override;
 
   /// Confidence values (exposed for unit tests and threshold sweeps).
   double compression_confidence(const noc::VcId& v) const;

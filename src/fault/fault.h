@@ -10,12 +10,34 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/config.h"
 #include "common/rng.h"
 
 namespace disco::fault {
+
+/// Parse a hard-fault spec: a comma-separated list of "kind@cycle:node" (or
+/// "link@cycle:node:dir" with dir in {N,S,E,W}). Kinds: link, router,
+/// engine, llc. Example: "engine@5000:3,link@9000:5:E,router@12000:10".
+/// Throws std::invalid_argument with the offending token on a parse error.
+std::vector<HardFaultEvent> parse_hard_fault_spec(const std::string& spec);
+
+/// Canonical spec string for a schedule (round-trips through the parser).
+std::string format_hard_fault_spec(const std::vector<HardFaultEvent>& events);
+
+/// Materialize the full, deterministic kill schedule for one system: the
+/// explicit events of `cfg.hard_faults` plus, when `cfg.hard_fault_rate` is
+/// set, one exponential failure-time draw per component (router, engine and
+/// bank per node; the N/S/E/W links of each node from the sender side). Each
+/// component draws from its own splitmix64-derived stream, so the schedule
+/// is a pure function of (seed, rate, mesh) — replayable bit-exactly under
+/// any thread count. Events past `horizon` are discarded; the result is
+/// sorted by (at, kind, node, dir).
+std::vector<HardFaultEvent> build_hard_fault_schedule(
+    const FaultConfig& cfg, std::uint64_t seed, std::uint32_t mesh_cols,
+    std::uint32_t mesh_rows, std::uint64_t horizon);
 
 /// Checksum over a raw 64B block, selected by FaultConfig::crc. Fold8 is
 /// zero-extended so both modes fit the same 32-bit header field.

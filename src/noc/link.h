@@ -8,6 +8,7 @@
 #include <cassert>
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "common/types.h"
 #include "noc/packet.h"
@@ -30,6 +31,19 @@ class PipelinedChannel {
   bool empty() const { return queue_.empty(); }
   std::size_t size() const { return queue_.size(); }
 
+  /// Destroy everything in flight (hard-fault link/router kill).
+  void clear() { queue_.clear(); }
+
+  /// Drain all contents regardless of readiness (hard-fault kill scrub:
+  /// the caller condemns the owning packets before destruction).
+  std::vector<T> take_all() {
+    std::vector<T> out;
+    out.reserve(queue_.size());
+    for (Entry& e : queue_) out.push_back(std::move(e.item));
+    queue_.clear();
+    return out;
+  }
+
  private:
   struct Entry {
     Cycle ready;
@@ -50,6 +64,8 @@ class FlitLink {
   bool try_pop(Cycle now, Flit& out) { return chan_.try_pop(now, out); }
   bool empty() const { return chan_.empty(); }
   std::size_t size() const { return chan_.size(); }
+  void clear() { chan_.clear(); }
+  std::vector<Flit> take_all() { return chan_.take_all(); }
 
  private:
   PipelinedChannel<Flit> chan_;

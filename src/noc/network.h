@@ -5,11 +5,13 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "common/config.h"
 #include "noc/ni.h"
 #include "noc/router.h"
+#include "noc/topology.h"
 
 namespace disco::noc {
 
@@ -42,9 +44,30 @@ class Network {
 
   /// Attach the system tracer to every router and NI.
   void set_tracer(trace::Tracer* t) {
+    tracer_ = t;
     for (auto& r : routers_) r->set_tracer(t);
     for (auto& ni : nis_) ni->set_tracer(t);
   }
+
+  // --- permanent (hard) faults ---
+  const Topology& topology() const { return topo_; }
+  bool node_dead(NodeId n) const { return node_dead_[n]; }
+  RouterExtension* extension(NodeId n) {
+    return extensions_.empty() ? nullptr : extensions_[n].get();
+  }
+
+  /// System-layer callback for packets that provably cannot be delivered
+  /// (used to synthesize protocol completions). Deduplicated per original
+  /// packet id, so clone chains resolve exactly once.
+  void set_unreachable_handler(DoomedPacketFn h) { unreachable_ = std::move(h); }
+
+  /// Apply one scheduled hard fault. Returns false if the target was
+  /// already dead (the fault is a no-op).
+  bool apply_hard_fault(const HardFaultEvent& e, Cycle now);
+  bool kill_router(NodeId n, Cycle now);
+  bool kill_link(NodeId n, Port dir, Cycle now);
+  bool kill_engine(NodeId n, Cycle now);
+  bool kill_bank(NodeId n, Cycle now);
 
   /// Structural flit census: flits buffered in routers plus flits in flight
   /// on links (the invariant checker reconciles this against the injected /
@@ -80,15 +103,40 @@ class Network {
   bool credits_quiescent() const;
 
  private:
+  void note_doomed(const PacketPtr& pkt, Cycle now);
+  void enter_degraded();
+  bool doomed_from(NodeId at, const Packet& p) const;
+  void drain_directed_link(Router& from, Port dir,
+                           std::vector<PacketPtr>& severed, Cycle now);
+  void sever_undirected_link(NodeId n, Port dir,
+                             std::vector<PacketPtr>& severed, Cycle now);
+  /// Common kill tail: find severed/doomed in-flight packets, condemn them,
+  /// scrub every live router, re-route unsent VCs, purge NI queues.
+  void finish_topology_kill(std::vector<PacketPtr> severed, Cycle now,
+                            bool routes_changed);
+
   MeshShape mesh_;
   NocConfig cfg_;
   NocStats& stats_;
+  Topology topo_;
 
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   std::vector<std::unique_ptr<RouterExtension>> extensions_;
   std::vector<std::unique_ptr<FlitLink>> flit_links_;
   std::vector<std::unique_ptr<CreditLink>> credit_links_;
+
+  // Hard-fault state (all inert on the healthy path).
+  trace::Tracer* tracer_ = nullptr;
+  DoomedPacketFn unreachable_;
+  bool degraded_ = false;
+  std::vector<bool> node_dead_;
+  /// Packets cut apart by a kill: their remaining flits are destroyed
+  /// wherever they surface. Kept for the rest of the run (stragglers can
+  /// arrive arbitrarily late through 1-cycle links).
+  std::unordered_set<PacketId> condemned_;
+  /// Original ids already routed through the unreachable handler.
+  std::unordered_set<PacketId> resolved_;
 };
 
 }  // namespace disco::noc

@@ -19,9 +19,20 @@ void NetworkInterface::inject(PacketPtr pkt, Cycle now, Cycle extra_delay) {
     pkt->crc_valid = true;
   }
   Cycle ready = now + extra_delay;
+  bool codec_ok = !bypass_;
+  if (degraded_ && topo_ != nullptr && pkt->has_data &&
+      !topo_->engine_alive(pkt->dst) &&
+      (policy_.decompress_on_eject_all ||
+       (policy_.decompress_for_raw_consumers &&
+        pkt->dst_unit != UnitKind::L2Bank))) {
+    // The destination NI can no longer decode: this block must travel (and
+    // stay) raw end to end, so in-network engines must leave it alone too.
+    pkt->compressible = false;
+    codec_ok = false;
+  }
   // Retransmission clones (retransmit_of set) always travel raw.
-  if (policy_.compress_on_inject && pkt->has_data && !pkt->compressed() &&
-      pkt->retransmit_of == 0) {
+  if (codec_ok && policy_.compress_on_inject && pkt->has_data &&
+      !pkt->compressed() && pkt->retransmit_of == 0) {
     assert(policy_.algo != nullptr);
     compress::Encoded enc = policy_.algo->compress(pkt->data);
     ++stats_.ni_compressions;
@@ -48,6 +59,7 @@ void NetworkInterface::tick(Cycle now) {
 }
 
 void NetworkInterface::pump_source_compression(Cycle now) {
+  if (bypass_) return;  // the tile's compression hardware is dead
   // One engine operation per cycle: find the oldest queued compressible
   // packet whose wait already covers the compression latency.
   PendingInject* best = nullptr;
@@ -162,6 +174,20 @@ void NetworkInterface::finish_ejection(PacketPtr pkt, Cycle now) {
 
 void NetworkInterface::finish_ejection_fault(PacketPtr pkt, Cycle now) {
   const FaultConfig& fc = injector_->config();
+  if (bypass_ && pkt->has_data && pkt->compressed() &&
+      (policy_.decompress_on_eject_all ||
+       (policy_.decompress_for_raw_consumers &&
+        pkt->dst_unit != UnitKind::L2Bank))) {
+    // A compressed block reached a consumer whose decoder is dead (it was
+    // in flight when the engine failed): ask the source for a raw copy.
+    if (pkt->retransmit_of != 0 && parked_.count(pkt->retransmit_of) == 0) {
+      ++stats_.duplicate_retransmissions;
+      return;
+    }
+    ++stats_.bypass_retransmits;
+    park_and_nack(std::move(pkt), now);
+    return;
+  }
   if (pkt->has_data) {
     // End-to-end verification: non-throwing decode + payload checksum. The
     // `dec != pkt->data` comparison is the simulator's oracle — a mismatch
@@ -197,23 +223,27 @@ void NetworkInterface::finish_ejection_fault(PacketPtr pkt, Cycle now) {
       park_and_nack(std::move(pkt), now);
       return;
     }
+  }
 
-    if (pkt->retransmit_of != 0) {
-      // A good clone resolves the parked original (or is a late duplicate).
-      const PacketId oid = pkt->retransmit_of;
-      if (parked_.erase(oid) == 0) {
-        ++stats_.duplicate_retransmissions;
-        return;
-      }
-      reassembly_.erase(oid);
-      completed_.insert(oid);
-      forget_clones_of(oid);
-      ++stats_.retransmit_deliveries;
-    } else {
-      // A parked original that completed intact after all (spurious loss
-      // timeout): deliver it; the clone will arrive as a duplicate.
-      parked_.erase(pkt->id);
+  // Retransmission bookkeeping applies to every packet, not just data-bearing
+  // ones: a severed/lost request (GetM, acks, ...) is recovered by the same
+  // NACK-clone machinery, and a late second clone of it must be dropped here
+  // or the consumer services the transaction twice.
+  if (pkt->retransmit_of != 0) {
+    // A good clone resolves the parked original (or is a late duplicate).
+    const PacketId oid = pkt->retransmit_of;
+    if (parked_.erase(oid) == 0) {
+      ++stats_.duplicate_retransmissions;
+      return;
     }
+    reassembly_.erase(oid);
+    completed_.insert(oid);
+    forget_clones_of(oid);
+    ++stats_.retransmit_deliveries;
+  } else {
+    // A parked original that completed intact after all (spurious loss
+    // timeout): deliver it; the clone will arrive as a duplicate.
+    parked_.erase(pkt->id);
   }
 
   // Decompression policy — same timing semantics as the non-fault path, but
@@ -242,6 +272,10 @@ void NetworkInterface::park_and_nack(PacketPtr pkt, Cycle now) {
   auto [it, inserted] = parked_.try_emplace(oid);
   Parked& p = it->second;
   if (inserted) p.pkt = std::move(pkt);
+  // A dead or cut-off source can never answer a NACK: leave the entry for
+  // scan_recovery, which falls back to a ground-truth delivery immediately
+  // instead of burning the whole retry budget against a dead sink.
+  if (degraded_ && peer_unreachable(*p.pkt)) return;
   if (p.retries < injector_->config().max_retries) send_nack(oid, p, now);
 }
 
@@ -322,11 +356,12 @@ void NetworkInterface::scan_recovery(Cycle now) {
   // deliveries are the "unrecovered" population of the acceptance criteria.
   for (auto it = parked_.begin(); it != parked_.end();) {
     Parked& p = it->second;
-    if (now - p.last_nack <= fc.nack_retry_interval) {
+    const bool dead_peer = degraded_ && peer_unreachable(*p.pkt);
+    if (!dead_peer && now - p.last_nack <= fc.nack_retry_interval) {
       ++it;
       continue;
     }
-    if (p.retries >= fc.max_retries) {
+    if (dead_peer || p.retries >= fc.max_retries) {
       PacketPtr pkt = std::move(p.pkt);
       const PacketId oid = it->first;
       it = parked_.erase(it);
@@ -381,6 +416,14 @@ void NetworkInterface::pump_delivery(Cycle now) {
       continue;
     }
 
+    if (degraded_ && topo_ != nullptr &&
+        !topo_->unit_alive(node_, pkt->dst_unit)) {
+      // The consuming unit died while the packet sat in the delivery queue.
+      ++stats_.dead_component_drops;
+      if (doomed_cb_) doomed_cb_(pkt, now);
+      continue;
+    }
+
     PacketSink* sink = sinks_[static_cast<std::size_t>(pkt->dst_unit)];
     assert(sink != nullptr && "packet delivered to unregistered unit");
     sink->deliver(std::move(pkt), now);
@@ -392,6 +435,15 @@ void NetworkInterface::pump_injection(Cycle now) {
   for (std::size_t vn = 0; vn < kNumVNets; ++vn) {
     if (active_[vn].has_value()) continue;
     auto& q = inject_q_[vn];
+    if (degraded_) {
+      // Never start a send that provably cannot be delivered: drop at the
+      // source instead of hanging the network until the watchdog trips.
+      while (!q.empty() && q.front().ready_at <= now &&
+             dest_doomed(*q.front().pkt)) {
+        drop_doomed(q.front().pkt, now);
+        q.pop_front();
+      }
+    }
     if (q.empty() || q.front().ready_at > now) continue;
     const std::uint32_t lo = static_cast<std::uint32_t>(vn) * cfg_.vcs_per_vnet;
     const std::uint32_t hi = lo + cfg_.vcs_per_vnet;
@@ -455,6 +507,98 @@ std::size_t NetworkInterface::pending_injections() const {
   std::size_t n = 0;
   for (const auto& q : inject_q_) n += q.size();
   return n;
+}
+
+bool NetworkInterface::dest_doomed(const Packet& pkt) const {
+  if (topo_ == nullptr) return false;
+  return !topo_->unit_alive(pkt.dst, pkt.dst_unit) ||
+         !topo_->reachable(node_, pkt.dst);
+}
+
+bool NetworkInterface::peer_unreachable(const Packet& pkt) const {
+  if (topo_ == nullptr) return false;
+  return !topo_->unit_alive(pkt.src, pkt.src_unit) ||
+         !topo_->reachable(node_, pkt.src);
+}
+
+void NetworkInterface::drop_doomed(const PacketPtr& pkt, Cycle now) {
+  ++stats_.unreachable_drops;
+  if (tracer_ != nullptr)
+    tracer_->emit(now, node_, trace::Event::TopoUnreachable, 0, 0, pkt->id,
+                  static_cast<std::int64_t>(pkt->dst));
+  if (pkt->nack_for == 0 && doomed_cb_) doomed_cb_(pkt, now);
+}
+
+void NetworkInterface::set_bypass(Cycle now) {
+  if (bypass_) return;
+  bypass_ = true;
+  if (tracer_ != nullptr)
+    tracer_->emit(now, node_, trace::Event::TopoBypass, 0, 0, 0, 0);
+}
+
+void NetworkInterface::note_severed(const PacketPtr& pkt, Cycle now) {
+  if (!fault_mode() || pkt->nack_for != 0) return;
+  const PacketId oid = pkt->retransmit_of != 0 ? pkt->retransmit_of : pkt->id;
+  if (completed_.count(pkt->id) > 0 || completed_.count(oid) > 0) return;
+  if (parked_.count(oid) > 0) return;  // recovery already running
+  Reassembly& r = reassembly_[pkt->id];
+  if (r.pkt == nullptr) {
+    r.pkt = pkt;
+    r.first = now;
+  }
+}
+
+void NetworkInterface::note_external_completion(PacketId oid) {
+  if (!fault_mode()) return;
+  completed_.insert(oid);
+  parked_.erase(oid);
+  reassembly_.erase(oid);
+  forget_clones_of(oid);
+}
+
+void NetworkInterface::on_topology_change(Cycle now) {
+  if (!degraded_) return;
+  for (auto& q : inject_q_) {
+    for (auto it = q.begin(); it != q.end();) {
+      if (dest_doomed(*it->pkt)) {
+        drop_doomed(it->pkt, now);
+        it = q.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Active sends whose packet was condemned or doomed stop mid-stream; the
+  // flits already pushed are destroyed by the routers' filters/scrubs.
+  for (auto& a : active_) {
+    if (!a.has_value()) continue;
+    const PacketPtr& pkt = a->pkt;
+    const bool cond = condemned_ != nullptr && condemned_->count(pkt->id) > 0;
+    const bool doomed = dest_doomed(*pkt);
+    if (!cond && !doomed) continue;
+    if (doomed && !cond) drop_doomed(pkt, now);
+    vc_taken_[a->vc] = false;
+    a.reset();
+  }
+}
+
+void NetworkInterface::collect_dead_orphans(std::vector<PacketPtr>& out) {
+  for (auto& q : inject_q_) {
+    for (auto& e : q) out.push_back(std::move(e.pkt));
+    q.clear();
+  }
+  for (auto& a : active_) {
+    if (a.has_value()) out.push_back(std::move(a->pkt));
+    a.reset();
+  }
+  for (auto& d : delivery_) out.push_back(std::move(d.pkt));
+  delivery_.clear();
+  for (auto& [id, r] : reassembly_)
+    if (r.pkt != nullptr) out.push_back(std::move(r.pkt));
+  reassembly_.clear();
+  for (auto& [id, p] : parked_) out.push_back(std::move(p.pkt));
+  parked_.clear();
+  std::fill(vc_taken_.begin(), vc_taken_.end(), false);
 }
 
 }  // namespace disco::noc

@@ -29,6 +29,7 @@
 #include "fault/fault.h"
 #include "noc/link.h"
 #include "noc/noc_stats.h"
+#include "noc/topology.h"
 #include "noc/vc.h"
 #include "trace/trace.h"
 
@@ -76,6 +77,41 @@ class NetworkInterface {
 
   /// Attach the system tracer (null = probes compile to a pointer check).
   void set_tracer(trace::Tracer* t) { tracer_ = t; }
+
+  // --- hard-fault support (wired by Network; inert until a kill) ---
+  void set_topology(const Topology* t) { topo_ = t; }
+  void set_condemned(const std::unordered_set<PacketId>* c) { condemned_ = c; }
+  void set_doomed_callback(DoomedPacketFn fn) { doomed_cb_ = std::move(fn); }
+  void enter_degraded_mode() { degraded_ = true; }
+
+  /// The tile's compression hardware is permanently dead: stop compressing
+  /// here; compressed arrivals that need raw delivery are NACKed for a raw
+  /// retransmission instead of decoded locally.
+  void set_bypass(Cycle now);
+  bool bypassed() const { return bypass_; }
+
+  /// An in-flight packet addressed here was cut apart by a kill: open a
+  /// reassembly entry so the loss timeout fires and recovery runs.
+  void note_severed(const PacketPtr& pkt, Cycle now);
+  /// A kill-time repair path delivered transaction `oid` to the consumer out
+  /// of band (system-level orphan resolution): retire any recovery state we
+  /// still hold for it so the dead-peer fallback cannot deliver it twice.
+  void note_external_completion(PacketId oid);
+  /// Topology changed: drop queued/active sends that can no longer be
+  /// delivered (destination dead or cut off).
+  void on_topology_change(Cycle now);
+  /// This NI's tile died: surrender every queued/in-flight protocol packet
+  /// so the system layer can synthesize completions. Clears all state.
+  void collect_dead_orphans(std::vector<PacketPtr>& out);
+
+  FlitLink* to_router_link() const { return to_router_; }
+  FlitLink* from_router_link() const { return from_router_; }
+  CreditLink* credit_link() const { return credits_in_; }
+  void disconnect() {
+    to_router_ = nullptr;
+    from_router_ = nullptr;
+    credits_in_ = nullptr;
+  }
 
   /// Deterministic id for a protocol packet originating at this node:
   /// (node << 40) | seq, disjoint from the ctrl (bit 63) and clone (bit 62)
@@ -139,6 +175,11 @@ class NetworkInterface {
   void finish_ejection_fault(PacketPtr pkt, Cycle now);
   void park_and_nack(PacketPtr pkt, Cycle now);
   void send_nack(PacketId oid, Parked& parked, Cycle now);
+
+  // --- hard-fault helpers (degraded mode only) ---
+  bool dest_doomed(const Packet& pkt) const;
+  bool peer_unreachable(const Packet& pkt) const;
+  void drop_doomed(const PacketPtr& pkt, Cycle now);
   void handle_nack(const PacketPtr& nack, Cycle now);
   void scan_recovery(Cycle now);
   void forget_clones_of(PacketId oid);
@@ -179,6 +220,13 @@ class NetworkInterface {
   std::uint32_t ctrl_seq_ = 0;
   std::uint32_t clone_seq_ = 0;
   PacketId proto_seq_ = 1;  ///< id 0 stays "no packet" in trace events
+
+  // Hard-fault state (all inert on the healthy path).
+  const Topology* topo_ = nullptr;
+  const std::unordered_set<PacketId>* condemned_ = nullptr;
+  DoomedPacketFn doomed_cb_;
+  bool degraded_ = false;
+  bool bypass_ = false;
 };
 
 }  // namespace disco::noc

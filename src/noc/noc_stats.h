@@ -47,6 +47,19 @@ struct NocStats {
   std::uint64_t engine_decode_errors = 0;     ///< DISCO engine decode/CRC failures
   std::uint64_t engines_quarantined = 0;
 
+  // --- permanent (hard) faults + graceful degradation ---
+  std::uint64_t links_killed = 0;
+  std::uint64_t routers_killed = 0;
+  std::uint64_t engines_hard_failed = 0;      ///< whole tiles flipped to NI bypass
+  std::uint64_t banks_killed = 0;
+  std::uint64_t unreachable_drops = 0;        ///< dropped at the source NI: dst dead/cut off
+  std::uint64_t dead_component_drops = 0;     ///< in-flight flits filtered at live routers
+  std::uint64_t flits_destroyed = 0;          ///< flits scrubbed out of buffers/links by kills
+  std::uint64_t severed_packets = 0;          ///< in-flight packets cut by a kill (recovered end-to-end)
+  std::uint64_t reroutes = 0;                 ///< RC decisions diverging from XY (degraded routing)
+  std::uint64_t bypass_retransmits = 0;       ///< compressed arrivals NACKed raw by a bypassed NI
+  std::uint64_t synth_completions = 0;        ///< protocol responses synthesized for dead components
+
   // --- traffic / latency ---
   std::uint64_t packets_injected = 0;
   std::uint64_t packets_ejected = 0;

@@ -11,6 +11,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -63,6 +64,14 @@ struct Packet {
   /// NACK only: the corrupted packet (models the source's retransmit buffer).
   std::shared_ptr<Packet> nack_ref;
 
+  // --- degraded routing (hard-fault mode only) ---
+  /// Up*/down* phase carried between hops: 0 = may still climb toward the
+  /// spanning-tree root, 1 = descending only. Reset whenever route_epoch
+  /// falls behind the live topology's epoch.
+  std::uint8_t route_phase = 0;
+  /// Topology epoch the phase belongs to (see Topology::epoch()).
+  std::uint32_t route_epoch = 0;
+
   // --- timing bookkeeping (set by NIs / system) ---
   Cycle created = 0;
   Cycle injected = 0;
@@ -104,6 +113,11 @@ struct Packet {
 };
 
 using PacketPtr = std::shared_ptr<Packet>;
+
+/// Callback invoked when a packet is discovered to be undeliverable under
+/// the live topology (destination dead or cut off). The system layer uses
+/// it to keep the cache protocol live by synthesizing completions.
+using DoomedPacketFn = std::function<void(const PacketPtr&, Cycle)>;
 
 /// A flit token referencing its parent packet. Rebuilt in place when an
 /// in-network de/compression changes the packet's flit count.

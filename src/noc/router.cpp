@@ -59,6 +59,7 @@ void Router::receive_flits(Cycle now) {
     Flit f;
     while (in_flit_[p]->try_pop(now, f)) {
       assert(f.vc_tag < input_[p].size());
+      if (degraded_ && filter_dead_flit(f, p, now)) continue;
       f.arrival = now;
       if (tracer_ != nullptr)
         tracer_->emit(now, id_, trace::Event::BufferWrite,
@@ -77,7 +78,24 @@ void Router::route_compute(Cycle now) {
       if (ch.stage != VcStage::Idle || ch.buffer.empty()) continue;
       const Flit& head = ch.buffer.front();
       assert(head.is_head() && "mid-packet flit at VC head in Idle stage");
-      ch.out_port = xy_route(mesh_, id_, head.pkt->dst);
+      if (topo_ == nullptr || topo_->routing_healthy()) {
+        ch.out_port = xy_route(mesh_, id_, head.pkt->dst);
+      } else {
+        Packet& pkt = *head.pkt;
+        if (pkt.route_epoch != topo_->epoch()) {
+          pkt.route_epoch = topo_->epoch();
+          pkt.route_phase = 0;
+        }
+        ch.out_port = topo_->route(id_, pkt.dst, pkt.route_phase);
+        if (ch.out_port != xy_route(mesh_, id_, pkt.dst)) {
+          ++stats_.reroutes;
+          if (tracer_ != nullptr)
+            tracer_->emit(now, id_, trace::Event::TopoReroute,
+                          static_cast<std::uint8_t>(p),
+                          static_cast<std::uint8_t>(v), pkt.id,
+                          static_cast<std::int64_t>(idx(ch.out_port)));
+        }
+      }
       ch.head_arrival = head.arrival;
       ch.stage = VcStage::VcAlloc;
       if (tracer_ != nullptr)
@@ -144,6 +162,12 @@ void Router::vc_allocate(Cycle now) {
 bool Router::sa_eligible(const VirtualChannel& ch, Cycle now) const {
   if (ch.stage != VcStage::Active || ch.buffer.empty()) return false;
   if (ch.sa_inhibit) return false;  // blocking-mode engine lock
+  // Output link severed by a hard fault mid-allocation; the kill scrub
+  // resets or condemns this VC before forwarding could resume, so this
+  // only guards the same-cycle window. Never fires on a healthy mesh (XY
+  // stays on-mesh).
+  if (out_flit_[idx(ch.out_port)] == nullptr && ch.out_port != Port::Local)
+    return false;
   return ch.buffer.front().arrival + 2 <= now;
 }
 
@@ -237,6 +261,7 @@ void Router::switch_allocate_and_traverse(Cycle now, std::vector<VcId>& losers) 
     Flit f = std::move(ch.buffer.front());
     ch.buffer.pop_front();
     const bool tail = f.is_tail();
+    if (ch.sent_flits == 0) ch.active_pkt = f.pkt;
     f.vc_tag = ch.out_vc;
 
     bool dropped = false;
@@ -278,6 +303,7 @@ void Router::switch_allocate_and_traverse(Cycle now, std::vector<VcId>& losers) 
       out_vc_taken_[out][ch.out_vc] = false;
       ch.stage = VcStage::Idle;
       ch.sent_flits = 0;
+      ch.active_pkt.reset();
     }
   }
 
@@ -385,6 +411,162 @@ void Router::stall_census(StallCensus& c) const {
 }
 
 bool Router::quiescent() const { return total_buffered_flits() == 0; }
+
+bool Router::filter_dead_flit(const Flit& f, std::size_t p, Cycle now) {
+  const PacketPtr& pkt = f.pkt;
+  bool drop = condemned_ != nullptr && condemned_->count(pkt->id) > 0;
+  if (!drop && topo_ != nullptr &&
+      (!topo_->unit_alive(pkt->dst, pkt->dst_unit) ||
+       !topo_->reachable(id_, pkt->dst))) {
+    drop = true;
+    if (doomed_cb_) doomed_cb_(pkt, now);
+  }
+  if (!drop) return false;
+  ++stats_.dead_component_drops;
+  // The flit never occupies a buffer slot, so the upstream sender's credit
+  // comes straight back (conservation holds through the destruction).
+  if (out_credit_[p] != nullptr) {
+    out_credit_[p]->push(now, Credit{f.vc_tag});
+    ++stats_.credits_sent;
+    if (tracer_ != nullptr)
+      tracer_->emit(now, id_, trace::Event::CreditSend,
+                    static_cast<std::uint8_t>(p), f.vc_tag, 0, 0);
+  }
+  if (tracer_ != nullptr)
+    tracer_->emit(now, id_, trace::Event::TopoFlitsKilled,
+                  static_cast<std::uint8_t>(p), f.vc_tag, pkt->id, 1);
+  return true;
+}
+
+void Router::disconnect_port(Port p) {
+  in_flit_[idx(p)] = nullptr;
+  out_flit_[idx(p)] = nullptr;
+  in_credit_[idx(p)] = nullptr;
+  out_credit_[idx(p)] = nullptr;
+}
+
+void Router::collect_severed(std::vector<PacketPtr>& out) const {
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    for (const VirtualChannel& ch : input_[p]) {
+      if (ch.sent_flits == 0 || ch.active_pkt == nullptr) continue;
+      if (ch.out_port == Port::Local) continue;  // ejection never dies alone
+      if (out_flit_[idx(ch.out_port)] != nullptr) continue;
+      out.push_back(ch.active_pkt);
+    }
+  }
+}
+
+void Router::collect_buffered_packets(std::vector<PacketPtr>& out) const {
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    for (const VirtualChannel& ch : input_[p]) {
+      if (ch.sent_flits > 0 && ch.active_pkt != nullptr)
+        out.push_back(ch.active_pkt);
+      const Packet* last = nullptr;
+      for (const Flit& f : ch.buffer) {
+        if (f.pkt.get() == last) continue;  // runs are contiguous
+        last = f.pkt.get();
+        out.push_back(f.pkt);
+      }
+    }
+  }
+}
+
+std::uint64_t Router::scrub_condemned(Cycle now) {
+  if (condemned_ == nullptr || condemned_->empty()) return 0;
+  std::uint64_t killed = 0;
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    for (std::uint32_t v = 0; v < input_[p].size(); ++v) {
+      VirtualChannel& ch = input_[p][v];
+      const VcId vid{static_cast<Port>(p), static_cast<std::uint8_t>(v)};
+      // Reset the pipeline state if the packet owning it is condemned.
+      const PacketPtr owner =
+          ch.sent_flits > 0 ? ch.active_pkt : ch.head_packet();
+      if (ch.stage != VcStage::Idle && owner != nullptr &&
+          condemned_->count(owner->id) > 0) {
+        if (ch.engine_busy && ext_ != nullptr)
+          ext_->on_shadow_departed(now, vid);  // abort the engine's copy
+        if (ch.stage == VcStage::Active)
+          out_vc_taken_[idx(ch.out_port)][ch.out_vc] = false;
+        ch.stage = VcStage::Idle;
+        ch.sent_flits = 0;
+        ch.active_pkt.reset();
+        ch.sa_inhibit = false;
+        if (tracer_ != nullptr)
+          tracer_->emit(now, id_, trace::Event::TopoVcReset,
+                        static_cast<std::uint8_t>(p),
+                        static_cast<std::uint8_t>(v), owner->id, 0);
+      }
+      // Destroy every buffered flit of any condemned packet (head or a
+      // queued run behind it). Per-flit credit returns keep conservation:
+      // expansion debt is absorbed first, exactly as normal pops would.
+      for (auto it = ch.buffer.begin(); it != ch.buffer.end();) {
+        if (condemned_->count(it->pkt->id) > 0) {
+          it = ch.buffer.erase(it);
+          ++killed;
+          send_credit_for_pop(vid, now);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  if (killed > 0) {
+    stats_.flits_destroyed += killed;
+    if (tracer_ != nullptr)
+      tracer_->emit(now, id_, trace::Event::TopoFlitsKilled, 0, 0, 0,
+                    static_cast<std::int64_t>(killed));
+  }
+  return killed;
+}
+
+void Router::reset_unsent_vcs(Cycle now) {
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    for (std::uint32_t v = 0; v < input_[p].size(); ++v) {
+      VirtualChannel& ch = input_[p][v];
+      if (ch.stage == VcStage::Idle || ch.sent_flits > 0) continue;
+      if (ch.stage == VcStage::Active)
+        out_vc_taken_[idx(ch.out_port)][ch.out_vc] = false;
+      ch.stage = VcStage::Idle;
+      ch.active_pkt.reset();
+      // engine_busy survives: the compression still targets the head
+      // packet, which re-routes in place under the new tables.
+      if (tracer_ != nullptr)
+        tracer_->emit(now, id_, trace::Event::TopoVcReset,
+                      static_cast<std::uint8_t>(p),
+                      static_cast<std::uint8_t>(v),
+                      ch.head_packet() ? ch.head_packet()->id : 0, 0);
+    }
+  }
+}
+
+std::uint64_t Router::drain_dead(std::vector<PacketPtr>& inflight, Cycle now) {
+  std::uint64_t killed = 0;
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    for (VirtualChannel& ch : input_[p]) {
+      if (ch.sent_flits > 0 && ch.active_pkt != nullptr)
+        inflight.push_back(ch.active_pkt);
+      const Packet* last = nullptr;
+      for (const Flit& f : ch.buffer) {
+        if (f.pkt.get() == last) continue;
+        last = f.pkt.get();
+        inflight.push_back(f.pkt);
+      }
+      killed += ch.buffer.size();
+      ch.buffer.clear();
+      ch.stage = VcStage::Idle;
+      ch.sent_flits = 0;
+      ch.credit_debt = 0;
+      ch.engine_busy = false;
+      ch.sa_inhibit = false;
+      ch.active_pkt.reset();
+    }
+  }
+  stats_.flits_destroyed += killed;
+  if (killed > 0 && tracer_ != nullptr)
+    tracer_->emit(now, id_, trace::Event::TopoFlitsKilled, 0, 0, 0,
+                  static_cast<std::int64_t>(killed));
+  return killed;
+}
 
 bool Router::credits_quiescent() const {
   for (std::size_t p = 0; p < kNumPorts; ++p) {

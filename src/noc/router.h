@@ -11,7 +11,9 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "common/config.h"
@@ -19,6 +21,7 @@
 #include "noc/link.h"
 #include "noc/noc_stats.h"
 #include "noc/routing.h"
+#include "noc/topology.h"
 #include "noc/vc.h"
 #include "trace/trace.h"
 
@@ -50,6 +53,10 @@ class RouterExtension {
   virtual void on_shadow_departed(Cycle now, const VcId& vc) = 0;
   /// Advance engines (completions applied here).
   virtual void tick(Cycle now) = 0;
+  /// The tile's compression hardware suffered a permanent fault: abort any
+  /// in-flight operations and refuse all future work. Default: no hardware
+  /// to lose (plain schemes).
+  virtual void on_hard_fault(Cycle now) { static_cast<void>(now); }
 };
 
 class Router {
@@ -74,6 +81,34 @@ class Router {
   /// Attach the system tracer (null = probes compile to a pointer check).
   void set_tracer(trace::Tracer* t) { tracer_ = t; }
   trace::Tracer* tracer() const { return tracer_; }
+
+  // --- hard-fault support (wired by Network; inert until a kill) ---
+  void set_topology(const Topology* t) { topo_ = t; }
+  void set_condemned(const std::unordered_set<PacketId>* c) { condemned_ = c; }
+  void set_doomed_callback(DoomedPacketFn fn) { doomed_cb_ = std::move(fn); }
+  /// Arm the receive-time dead-flit filter (first kill in the system).
+  void enter_degraded_mode() { degraded_ = true; }
+
+  FlitLink* out_flit_link(Port p) const { return out_flit_[idx(p)]; }
+  FlitLink* in_flit_link(Port p) const { return in_flit_[idx(p)]; }
+  CreditLink* out_credit_link(Port p) const { return out_credit_[idx(p)]; }
+  CreditLink* in_credit_link(Port p) const { return in_credit_[idx(p)]; }
+  /// Sever all four wires of a port (the link died).
+  void disconnect_port(Port p);
+
+  /// Mid-wormhole packets whose output link just died (state survives at
+  /// this live router but the downstream path is gone).
+  void collect_severed(std::vector<PacketPtr>& out) const;
+  /// Every distinct packet with flits (or in-flight state) at this router.
+  void collect_buffered_packets(std::vector<PacketPtr>& out) const;
+  /// Destroy every buffered flit of a condemned packet and reset the
+  /// pipeline state of VCs it owned. Returns flits destroyed.
+  std::uint64_t scrub_condemned(Cycle now);
+  /// Re-route VCs that have not sent a flit yet under the new tables.
+  void reset_unsent_vcs(Cycle now);
+  /// This router died: destroy all buffered flits, reporting every packet
+  /// that had flits or in-flight state here. Returns flits destroyed.
+  std::uint64_t drain_dead(std::vector<PacketPtr>& inflight, Cycle now);
 
   void tick(Cycle now);
 
@@ -123,6 +158,11 @@ class Router {
 
   bool sa_eligible(const VirtualChannel& ch, Cycle now) const;
 
+  /// Degraded mode only: true if the arriving flit must be destroyed
+  /// (condemned packet, or destination dead/unreachable from here). Returns
+  /// the buffer slot's credit upstream.
+  bool filter_dead_flit(const Flit& f, std::size_t p, Cycle now);
+
   NodeId id_;
   MeshShape mesh_;
   NocConfig cfg_;
@@ -148,6 +188,12 @@ class Router {
   fault::FaultInjector* injector_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
   std::vector<VcId> losers_scratch_;
+
+  // Hard-fault state (all inert on the healthy path).
+  const Topology* topo_ = nullptr;
+  const std::unordered_set<PacketId>* condemned_ = nullptr;
+  DoomedPacketFn doomed_cb_;
+  bool degraded_ = false;
 };
 
 }  // namespace disco::noc

@@ -33,6 +33,10 @@ class VirtualChannel {
   std::uint32_t sent_flits = 0;   ///< flits of the head packet already switched
   Cycle head_arrival = 0;         ///< arrival cycle of the head packet's head flit
   std::uint32_t credit_debt = 0;  ///< credits to swallow after an in-place expansion
+  /// The packet currently streaming out of this VC (set while sent_flits > 0).
+  /// Needed by hard-fault kill scans: a mid-wormhole VC may have an empty
+  /// buffer while its packet's tail is still upstream.
+  PacketPtr active_pkt;
 
   /// DISCO shadow-packet lock: head packet is copied into a compression
   /// engine; the copy in this buffer is the shadow (paper section 3.2 step 3).

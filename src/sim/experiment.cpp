@@ -67,6 +67,21 @@ CellResult run_cell(const SystemConfig& cfg,
     r.fault.unrecovered_deliveries = ns.unrecovered_deliveries;
     r.fault.engine_decode_errors = ns.engine_decode_errors;
     r.fault.engines_quarantined = ns.engines_quarantined;
+    if (cfg.fault.hard_enabled()) {
+      r.fault.hard_enabled = true;
+      r.fault.hard_faults_applied = sys.hard_faults_applied();
+      r.fault.links_killed = ns.links_killed;
+      r.fault.routers_killed = ns.routers_killed;
+      r.fault.engines_hard_failed = ns.engines_hard_failed;
+      r.fault.banks_killed = ns.banks_killed;
+      r.fault.unreachable_drops = ns.unreachable_drops;
+      r.fault.dead_component_drops = ns.dead_component_drops;
+      r.fault.flits_destroyed = ns.flits_destroyed;
+      r.fault.severed_packets = ns.severed_packets;
+      r.fault.reroutes = ns.reroutes;
+      r.fault.bypass_retransmits = ns.bypass_retransmits;
+      r.fault.synth_completions = ns.synth_completions;
+    }
   }
   if (const trace::InvariantChecker* chk = sys.invariant_checker())
     r.invariants = chk->summary();

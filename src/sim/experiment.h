@@ -38,8 +38,30 @@ struct FaultSummary {
   std::uint64_t engine_decode_errors = 0;
   std::uint64_t engines_quarantined = 0;
 
+  // Permanent (hard) faults + graceful degradation. `hard_enabled` is true
+  // when the cell ran with a hard-fault schedule (--hard-fault /
+  // --hard-fault-rate); the counters come from NocStats and the system.
+  bool hard_enabled = false;
+  std::uint64_t hard_faults_applied = 0;  ///< whole run, survives phase resets
+  std::uint64_t links_killed = 0;
+  std::uint64_t routers_killed = 0;
+  std::uint64_t engines_hard_failed = 0;
+  std::uint64_t banks_killed = 0;
+  std::uint64_t unreachable_drops = 0;
+  std::uint64_t dead_component_drops = 0;
+  std::uint64_t flits_destroyed = 0;
+  std::uint64_t severed_packets = 0;
+  std::uint64_t reroutes = 0;
+  std::uint64_t bypass_retransmits = 0;
+  std::uint64_t synth_completions = 0;
+
   std::uint64_t payload_faults() const {
     return link_bit_flips + llc_bit_flips + engine_faults;
+  }
+  /// Components lost over the whole run (the x-axis of the degradation
+  /// tables: latency/energy vs. dead components).
+  std::uint64_t components_killed() const {
+    return links_killed + routers_killed + engines_hard_failed + banks_killed;
   }
 };
 

@@ -58,6 +58,23 @@ void write_fields(std::ostream& os, const CellResult& r) {
        << "\"unrecovered_deliveries\":" << f.unrecovered_deliveries << ","
        << "\"engine_decode_errors\":" << f.engine_decode_errors << ","
        << "\"engines_quarantined\":" << f.engines_quarantined << "}";
+    // Nested gate: only cells run with a hard-fault schedule carry the
+    // degradation block, so soft-fault-only output stays byte-identical.
+    if (f.hard_enabled) {
+      os << ",\"hard_fault\":{"
+         << "\"applied\":" << f.hard_faults_applied << ","
+         << "\"links_killed\":" << f.links_killed << ","
+         << "\"routers_killed\":" << f.routers_killed << ","
+         << "\"engines_hard_failed\":" << f.engines_hard_failed << ","
+         << "\"banks_killed\":" << f.banks_killed << ","
+         << "\"unreachable_drops\":" << f.unreachable_drops << ","
+         << "\"dead_component_drops\":" << f.dead_component_drops << ","
+         << "\"flits_destroyed\":" << f.flits_destroyed << ","
+         << "\"severed_packets\":" << f.severed_packets << ","
+         << "\"reroutes\":" << f.reroutes << ","
+         << "\"bypass_retransmits\":" << f.bypass_retransmits << ","
+         << "\"synth_completions\":" << f.synth_completions << "}";
+    }
   }
   // Same gating rule: only runs with --check-invariants carry the object.
   if (r.invariants.enabled) {

@@ -14,6 +14,7 @@
 
 #include "common/interrupt.h"
 #include "common/rng.h"
+#include "fault/fault.h"
 #include "compress/decode_error.h"
 #include "sim/supervisor.h"
 #include "sim/sweep_internal.h"
@@ -285,7 +286,15 @@ namespace {
                "  --fault-stall-rate R   DISCO engine transient stall rate\n"
                "  --fault-crc M          payload checksum: crc32 (default) | fold8\n"
                "  --fault-retries N      max retransmission attempts per block\n"
-               "  --fault-backoff B      retransmission backoff base (cycles)\n",
+               "  --fault-backoff B      retransmission backoff base (cycles)\n"
+               "permanent (hard) faults — graceful degradation:\n"
+               "  --hard-fault SPEC      explicit kill schedule, comma-separated\n"
+               "                         kind@cycle:node (link@cycle:node:DIR);\n"
+               "                         kinds: link, router, engine, llc;\n"
+               "                         e.g. engine@5000:3,link@9000:5:E\n"
+               "  --hard-fault-rate R    per-component permanent-failure\n"
+               "                         probability per cycle (seed-derived\n"
+               "                         exponential draw per component)\n",
                prog);
   std::exit(code);
 }
@@ -478,6 +487,17 @@ SweepOptions parse_sweep_flags(int argc, char** argv,
         std::fprintf(stderr, "unknown --fault-crc mode: %s\n", m.c_str());
         usage(argv[0], 2);
       }
+    } else if (arg == "--hard-fault") {
+      try {
+        opt.fault.hard_faults = fault::parse_hard_fault_spec(value());
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        usage(argv[0], 2);
+      }
+      opt.fault.enabled = true;
+    } else if (arg == "--hard-fault-rate") {
+      opt.fault.hard_fault_rate = std::strtod(value(), nullptr);
+      opt.fault.enabled = true;
     } else if (arg == "--fault-retries") {
       opt.fault.max_retries =
           static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));

@@ -186,6 +186,19 @@ void visit_result(CellResult& r, F&& f) {
   f.u64("fault.unrecovered_deliveries", r.fault.unrecovered_deliveries);
   f.u64("fault.engine_decode_errors", r.fault.engine_decode_errors);
   f.u64("fault.engines_quarantined", r.fault.engines_quarantined);
+  f.boolean("fault.hard_enabled", r.fault.hard_enabled);
+  f.u64("fault.hard_faults_applied", r.fault.hard_faults_applied);
+  f.u64("fault.links_killed", r.fault.links_killed);
+  f.u64("fault.routers_killed", r.fault.routers_killed);
+  f.u64("fault.engines_hard_failed", r.fault.engines_hard_failed);
+  f.u64("fault.banks_killed", r.fault.banks_killed);
+  f.u64("fault.unreachable_drops", r.fault.unreachable_drops);
+  f.u64("fault.dead_component_drops", r.fault.dead_component_drops);
+  f.u64("fault.flits_destroyed", r.fault.flits_destroyed);
+  f.u64("fault.severed_packets", r.fault.severed_packets);
+  f.u64("fault.reroutes", r.fault.reroutes);
+  f.u64("fault.bypass_retransmits", r.fault.bypass_retransmits);
+  f.u64("fault.synth_completions", r.fault.synth_completions);
   f.boolean("invariants.enabled", r.invariants.enabled);
   f.u64("invariants.events_checked", r.invariants.events_checked);
   f.u64("invariants.cycles_checked", r.invariants.cycles_checked);

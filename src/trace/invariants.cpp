@@ -19,6 +19,7 @@ InvariantChecker::InvariantChecker(const InvariantParams& p) : p_(p) {
                      p_.vc_depth);
   vc_state_.assign(static_cast<std::size_t>(p_.nodes) * p_.ports * p_.num_vcs,
                    VcState::Idle);
+  dead_nodes_.assign(p_.nodes, false);
   // Interval bounds implied by Eq.1 / Eq.2: remote pressure is bounded by
   // the downstream buffer space, local pressure by the competing-VC count.
   const double max_remote =
@@ -43,6 +44,10 @@ void InvariantChecker::violation(std::uint64_t& kind_counter,
 
 void InvariantChecker::on_event(const TraceEvent& e) {
   ++summary_.events_checked;
+  if (e.node < dead_nodes_.size() && dead_nodes_[e.node] &&
+      category_of(e.event) != Category::Topo) {
+    violation(summary_.topology_violations, e, "event at a dead tile");
+  }
   switch (e.event) {
     case Event::BufferWrite:
       break;
@@ -219,6 +224,34 @@ void InvariantChecker::on_event(const TraceEvent& e) {
 
     case Event::L2Evict:
       break;
+
+    case Event::TopoKill:
+      if (e.arg == static_cast<std::int64_t>(HardFaultKind::Router) &&
+          e.node < dead_nodes_.size()) {
+        dead_nodes_[e.node] = true;
+      }
+      break;
+
+    case Event::TopoVcReset: {
+      // A hard-fault scrub rewound this VC to Idle (its packet was condemned
+      // before the tail traversed); the next RC on it is legal again.
+      vc_state_[pool_index(e.node, e.port, e.vc)] = VcState::Idle;
+      break;
+    }
+
+    case Event::TopoFlitsKilled:
+      if (e.arg < 0) {
+        violation(summary_.topology_violations, e,
+                  "negative killed-flit count");
+      } else {
+        killed_flits_ += static_cast<std::uint64_t>(e.arg);
+      }
+      break;
+
+    case Event::TopoReroute:
+    case Event::TopoUnreachable:
+    case Event::TopoBypass:
+      break;
   }
 }
 
@@ -226,7 +259,8 @@ void InvariantChecker::end_of_cycle(Cycle now, std::uint64_t structural_inflight
   ++summary_.cycles_checked;
   const std::int64_t modeled =
       static_cast<std::int64_t>(injected_flits_) + rebuild_delta_ -
-      static_cast<std::int64_t>(ejected_flits_);
+      static_cast<std::int64_t>(ejected_flits_) -
+      static_cast<std::int64_t>(killed_flits_);
   if (modeled != static_cast<std::int64_t>(structural_inflight)) {
     TraceEvent e;
     e.cycle = now;

@@ -16,7 +16,10 @@
 //   - shadow-packet lifetime: an armed engine's shadow is decided exactly
 //     once (abort or finish) and only then retired, never re-armed first;
 //   - ejection sanity: no flit sequence number is ejected twice for a live
-//     packet, and L2 fills store a plausible byte count.
+//     packet, and L2 fills store a plausible byte count;
+//   - dead-component silence: once a TopoKill declares a tile dead no
+//     further pipeline/NI/cache event may fire there, and flits destroyed by
+//     hard-fault scrubs enter the conservation equation explicitly.
 //
 // The checker depends only on plain parameters (no noc/disco headers), so
 // the trace module stays at the bottom of the dependency graph.
@@ -58,6 +61,7 @@ struct InvariantSummary {
   std::uint64_t confidence_violations = 0;    ///< Eq.1/Eq.2 out of bounds
   std::uint64_t eject_violations = 0;         ///< duplicate flit ejection
   std::uint64_t cache_violations = 0;         ///< implausible L2 fill size
+  std::uint64_t topology_violations = 0;      ///< activity at a dead component
   std::string first_violation;                ///< human-readable, first only
 
   bool clean() const { return violations == 0; }
@@ -100,8 +104,11 @@ class InvariantChecker {
   std::unordered_map<std::size_t, Shadow> shadows_;       ///< by VC key
   std::unordered_map<std::uint64_t, std::uint64_t> ejected_seqs_;  ///< by pkt
 
+  std::vector<bool> dead_nodes_;           ///< tiles killed by TopoKill(router)
+
   std::uint64_t injected_flits_ = 0;
   std::uint64_t ejected_flits_ = 0;
+  std::uint64_t killed_flits_ = 0;  ///< destroyed by hard-fault scrubs/filters
   std::int64_t rebuild_delta_ = 0;
   double conf_comp_max_ = 0;
   double conf_decomp_min_ = 0;

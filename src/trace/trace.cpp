@@ -39,6 +39,13 @@ Category category_of(Event e) {
     case Event::L2Fill:
     case Event::L2Evict:
       return Category::Cache;
+    case Event::TopoKill:
+    case Event::TopoVcReset:
+    case Event::TopoFlitsKilled:
+    case Event::TopoReroute:
+    case Event::TopoUnreachable:
+    case Event::TopoBypass:
+      return Category::Topo;
   }
   return Category::Noc;
 }
@@ -69,6 +76,12 @@ const char* to_string(Event e) {
     case Event::ShadowRetire: return "SRT";
     case Event::L2Fill: return "L2F";
     case Event::L2Evict: return "L2E";
+    case Event::TopoKill: return "TKL";
+    case Event::TopoVcReset: return "TVR";
+    case Event::TopoFlitsKilled: return "TFK";
+    case Event::TopoReroute: return "TRR";
+    case Event::TopoUnreachable: return "TUN";
+    case Event::TopoBypass: return "TBY";
   }
   return "?";
 }
@@ -80,6 +93,7 @@ const char* to_string(Category c) {
     case Category::Ni: return "ni";
     case Category::Disco: return "disco";
     case Category::Cache: return "cache";
+    case Category::Topo: return "topo";
   }
   return "?";
 }
@@ -107,7 +121,7 @@ std::array<bool, kNumCategories> category_mask(const std::string& filter) {
     if (!known) {
       throw std::invalid_argument(
           "unknown trace category '" + name +
-          "' (valid: noc, credit, ni, disco, cache)");
+          "' (valid: noc, credit, ni, disco, cache, topo)");
     }
     if (comma == std::string::npos) break;
     pos = comma + 1;

@@ -52,14 +52,21 @@ enum class Event : std::uint8_t {
   // L2 bank (category: cache).
   L2Fill,           ///< line data (re)installed; arg = stored bytes
   L2Evict,          ///< line evicted; arg = 1 if dirty writeback
+  // Hard faults / live topology (category: topo).
+  TopoKill,         ///< component killed; arg = HardFaultKind, port = dir
+  TopoVcReset,      ///< VC pipeline state scrubbed back to Idle after a kill
+  TopoFlitsKilled,  ///< flits destroyed by a kill/doomed filter; arg = count
+  TopoReroute,      ///< degraded (non-XY) route chosen at RC; arg = out port
+  TopoUnreachable,  ///< packet dropped at source NI, dst unreachable/dead
+  TopoBypass,       ///< NI flipped to uncompressed-bypass (engine hard fault)
 };
 
 inline constexpr std::size_t kNumEvents =
-    static_cast<std::size_t>(Event::L2Evict) + 1;
+    static_cast<std::size_t>(Event::TopoBypass) + 1;
 
-enum class Category : std::uint8_t { Noc, Credit, Ni, Disco, Cache };
+enum class Category : std::uint8_t { Noc, Credit, Ni, Disco, Cache, Topo };
 
-inline constexpr std::size_t kNumCategories = 5;
+inline constexpr std::size_t kNumCategories = 6;
 
 Category category_of(Event e);
 const char* to_string(Event e);

@@ -2,8 +2,15 @@
 // manifest.jsonl — per-status counts, attempts, errors — so a failed nightly
 // sweep can be triaged without parsing JSONL by hand.
 //
+// Cells are also classified into outcome classes: a cell that crashed,
+// hung or failed "died"; an Ok cell that absorbed permanent hard faults
+// (kills applied, traffic rerouted/synthesized around them) is "degraded
+// by design" — expected under a --hard-fault schedule, not a triage item;
+// everything else is "clean".
+//
 // Usage: manifest_inspect <manifest.jsonl> [--cells]
 //   --cells   also print one line per journaled cell
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -12,6 +19,20 @@
 #include "sim/supervisor.h"
 
 using namespace disco;
+
+namespace {
+
+/// Outcome class of a journaled cell (see header comment).
+const char* outcome_of(const sim::ManifestEntry& e) {
+  if (e.status != sim::CellStatus::Ok) return "died";
+  if (e.has_result && e.result.fault.hard_enabled &&
+      e.result.fault.hard_faults_applied > 0) {
+    return "degraded";
+  }
+  return "clean";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
@@ -34,9 +55,13 @@ int main(int argc, char** argv) {
               m.shard_count);
 
   std::map<std::string, std::size_t> by_status;
+  std::map<std::string, std::size_t> by_outcome;
+  std::uint64_t kills_absorbed = 0;
   unsigned retried = 0;
   for (const auto& e : m.entries) {
     ++by_status[to_string(e.status)];
+    ++by_outcome[outcome_of(e)];
+    if (e.has_result) kills_absorbed += e.result.fault.components_killed();
     if (e.attempts > 1) ++retried;
   }
   std::printf("journaled: %zu of %zu cells (%zu outstanding)\n",
@@ -46,12 +71,22 @@ int main(int argc, char** argv) {
     std::printf("  %-12s %zu\n", status.c_str(), n);
   if (retried > 0) std::printf("  (%u cells needed retries)\n", retried);
 
+  std::printf("outcome classes:\n");
+  for (const auto& [outcome, n] : by_outcome)
+    std::printf("  %-12s %zu%s\n", outcome.c_str(), n,
+                outcome == "degraded" ? "  (hard faults absorbed by design)"
+                                      : "");
+  if (kills_absorbed > 0)
+    std::printf("  permanent components killed across sweep: %llu\n",
+                static_cast<unsigned long long>(kills_absorbed));
+
   if (show_cells) {
-    std::printf("\n%-6s %-6s %-12s %-8s %s\n", "cell", "group", "status",
-                "attempts", "error");
+    std::printf("\n%-6s %-6s %-12s %-9s %-8s %s\n", "cell", "group", "status",
+                "outcome", "attempts", "error");
     for (const auto& e : m.entries)
-      std::printf("%-6zu %-6zu %-12s %-8u %s\n", e.cell, e.group,
-                  to_string(e.status), e.attempts, e.error.c_str());
+      std::printf("%-6zu %-6zu %-12s %-9s %-8u %s\n", e.cell, e.group,
+                  to_string(e.status), outcome_of(e), e.attempts,
+                  e.error.c_str());
   }
 
   // Exit 1 when any journaled cell is not Ok, so scripts can gate on it.
