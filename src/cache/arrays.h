@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "common/types.h"
 #include "compress/algorithm.h"
 
@@ -49,6 +50,11 @@ class L1Array {
   std::uint32_t sets() const { return sets_; }
   std::uint32_t ways() const { return ways_; }
   std::size_t set_of(Addr addr) const { return (addr / kBlockBytes) % sets_; }
+
+  /// Checkpoint/restore: geometry-checked; only valid lines carry content
+  /// (invalid slots restore to the default line).
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
 
  private:
   std::uint32_t sets_;
@@ -137,6 +143,11 @@ class SegmentedArray {
   static std::uint32_t segments_for(std::size_t bytes) {
     return static_cast<std::uint32_t>((bytes + kFlitBytes - 1) / kFlitBytes);
   }
+
+  /// Checkpoint/restore: geometry-checked; tag-slot positions are preserved
+  /// (install picks the first free way, so slot order is architectural).
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
 
  private:
   std::vector<L2Line>& set_lines(std::size_t set) { return sets_storage_[set]; }

@@ -1,12 +1,20 @@
 // Helper used by every controller to model fixed processing latencies:
 // packets scheduled for injection at a future cycle, drained into the NI by
 // the controller's tick.
+//
+// Implemented as an explicit binary heap (vector + std::push_heap/pop_heap)
+// rather than std::priority_queue so checkpointing can walk the entries: the
+// snapshot serializes a (when, seq)-sorted copy — a canonical form that is
+// byte-identical regardless of the heap's internal layout — and restore
+// rebuilds the heap from it. Pop order depends only on the (when, seq) total
+// order, so the restored queue drains exactly like the original.
 #pragma once
 
-#include <queue>
+#include <algorithm>
 #include <vector>
 
 #include "noc/ni.h"
+#include "noc/snapshot.h"
 
 namespace disco::cache {
 
@@ -17,13 +25,16 @@ class DelayedInjector {
   noc::NetworkInterface& ni() { return ni_; }
 
   void schedule(noc::PacketPtr pkt, Cycle when) {
-    queue_.push(Entry{when, seq_++, std::move(pkt)});
+    queue_.push_back(Entry{when, seq_++, std::move(pkt)});
+    std::push_heap(queue_.begin(), queue_.end(), Entry::later);
   }
 
   void tick(Cycle now) {
-    while (!queue_.empty() && queue_.top().when <= now) {
-      ni_.inject(queue_.top().pkt, now);
-      queue_.pop();
+    while (!queue_.empty() && queue_.front().when <= now) {
+      std::pop_heap(queue_.begin(), queue_.end(), Entry::later);
+      noc::PacketPtr pkt = std::move(queue_.back().pkt);
+      queue_.pop_back();
+      ni_.inject(std::move(pkt), now);
     }
   }
 
@@ -33,9 +44,40 @@ class DelayedInjector {
   /// the queue. The system resolves the orphans against the live topology.
   void take_all(std::vector<noc::PacketPtr>& out) {
     while (!queue_.empty()) {
-      out.push_back(queue_.top().pkt);
-      queue_.pop();
+      std::pop_heap(queue_.begin(), queue_.end(), Entry::later);
+      out.push_back(std::move(queue_.back().pkt));
+      queue_.pop_back();
     }
+  }
+
+  void save_state(snap::Writer& w, noc::PacketTable& t) const {
+    std::vector<const Entry*> sorted;
+    sorted.reserve(queue_.size());
+    for (const Entry& e : queue_) sorted.push_back(&e);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Entry* a, const Entry* b) { return Entry::later(*b, *a); });
+    w.u64(sorted.size());
+    for (const Entry* e : sorted) {
+      w.u64(e->when);
+      w.u64(e->seq);
+      t.save_ref(w, e->pkt);
+    }
+    w.u64(seq_);
+  }
+
+  void restore_state(snap::Reader& r, const noc::PacketTable& t) {
+    queue_.clear();
+    const std::uint64_t n = r.u64();
+    queue_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Entry e;
+      e.when = r.u64();
+      e.seq = r.u64();
+      e.pkt = t.load_ref(r);
+      queue_.push_back(std::move(e));
+    }
+    std::make_heap(queue_.begin(), queue_.end(), Entry::later);
+    seq_ = r.u64();
   }
 
  private:
@@ -44,13 +86,15 @@ class DelayedInjector {
     std::uint64_t seq;  ///< FIFO tie-break for same-cycle entries
     noc::PacketPtr pkt;
 
-    bool operator>(const Entry& o) const {
-      if (when != o.when) return when > o.when;
-      return seq > o.seq;
+    /// Heap comparator: "a fires later than b" — keeps the earliest entry
+    /// at the front of the max-heap the std heap algorithms maintain.
+    static bool later(const Entry& a, const Entry& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
     }
   };
   noc::NetworkInterface& ni_;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::vector<Entry> queue_;
   std::uint64_t seq_ = 0;
 };
 

@@ -67,6 +67,11 @@ class L1Cache final : public noc::PacketSink {
   /// Test hook: peek at a cached line.
   const L1Line* peek(Addr addr) { return array_.lookup(addr); }
 
+  /// Checkpoint/restore of the full controller state (array, outbound
+  /// queue, MSHRs, eviction buffer). Maps serialize sorted by address.
+  void save_state(snap::Writer& w, noc::PacketTable& t) const;
+  void restore_state(snap::Reader& r, const noc::PacketTable& t);
+
   // --- functional-warmup API (no timing, no messages; used only before
   // the timing phase to pre-populate cache and directory state) ---
   struct WarmVictim {

@@ -76,6 +76,12 @@ class L2Bank final : public noc::PacketSink {
   /// Diagnostic dump of in-flight transactions (one line each).
   void dump_transactions(std::FILE* out) const;
 
+  /// Checkpoint/restore of the full bank state (segmented array, outbound
+  /// queue, transaction table, replay/space-wait queues). The transaction
+  /// table serializes sorted by address.
+  void save_state(snap::Writer& w, noc::PacketTable& t) const;
+  void restore_state(snap::Reader& r, const noc::PacketTable& t);
+
   // --- functional-warmup API (no timing, no messages) ---
   /// Callback invoked for lines functionally evicted to make room; the
   /// system invalidates their L1 copies and writes dirty data to DRAM.

@@ -39,6 +39,12 @@ class MemCtrl final : public noc::PacketSink {
   const BlockBytes& read_block(Addr addr);
   void write_block(Addr addr, const BlockBytes& data);
 
+  /// Checkpoint/restore. The backing store serializes sorted by address
+  /// (blocks never touched are never materialized, so the map holds exactly
+  /// the touched set — deterministic across runs).
+  void save_state(snap::Writer& w, noc::PacketTable& t) const;
+  void restore_state(snap::Reader& r, const noc::PacketTable& t);
+
  private:
   std::size_t bank_of(Addr addr) const {
     // Skip the NUCA-interleave bits so DRAM banks stay decorrelated from

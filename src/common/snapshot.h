@@ -1,0 +1,120 @@
+// Versioned, checksummed binary snapshot primitives for full-system
+// checkpoint/restore. The byte-level idiom matches src/sim/wire.{h,cpp}:
+// every value is serialized as a lossless bit pattern (doubles travel as
+// their IEEE-754 bit images, never as decimal text), so save -> restore ->
+// save reproduces identical bytes and a resumed simulation replays
+// bit-exactly.
+//
+// File envelope (little-endian):
+//   magic   "DSNP"  (4 bytes)
+//   version u32     (kSnapshotVersion; mismatches are rejected)
+//   length  u64     (payload byte count)
+//   crc     u32     (IEEE CRC-32 of the payload)
+//   payload ...
+//
+// Writes are atomic: payload goes to <path>.tmp, is fsync'ed, then renamed
+// over <path>, so a crash or SIGINT mid-write leaves only the previous good
+// snapshot visible. Every malformed input (truncated file, bit flip, bad
+// magic/version/length) is reported as a structured SnapshotError — never
+// undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace disco::snap {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Structured snapshot failure: corrupt/truncated/mismatched input or an
+/// I/O error. Callers fall back to a from-zero run on catch.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// IEEE CRC-32 (reflected, poly 0xEDB88320) over raw bytes.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Append-only byte sink with fixed-width little-endian primitives.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { le(v, 2); }
+  void u32(std::uint32_t v) { le(v, 4); }
+  void u64(std::uint64_t v) { le(v, 8); }
+  void i64(std::int64_t v) { le(static_cast<std::uint64_t>(v), 8); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  /// Lossless bit-pattern double (the wire.cpp idiom).
+  void f64(double v);
+  /// Length-prefixed raw bytes.
+  void bytes(std::span<const std::uint8_t> v) {
+    u64(v.size());
+    buf_.insert(buf_.end(), v.begin(), v.end());
+  }
+  void str(const std::string& s) {
+    bytes(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+  /// Fixed-size raw bytes (no length prefix; reader knows the size).
+  void raw(std::span<const std::uint8_t> v) {
+    buf_.insert(buf_.end(), v.begin(), v.end());
+  }
+  void append(const Writer& other) {
+    buf_.insert(buf_.end(), other.buf_.begin(), other.buf_.end());
+  }
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void le(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader over a snapshot payload. Every read that would run
+/// past the end throws SnapshotError, so truncated or bit-flipped payloads
+/// can never index out of bounds.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+  std::uint64_t u64() { return le(8); }
+  std::int64_t i64() { return static_cast<std::int64_t>(le(8)); }
+  bool b();
+  double f64();
+  std::vector<std::uint8_t> bytes();
+  std::string str();
+  /// Fixed-size raw bytes into `out`.
+  void raw(std::span<std::uint8_t> out);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// Assert the payload was consumed exactly (trailing garbage => corrupt).
+  void expect_end() const;
+
+ private:
+  std::span<const std::uint8_t> take(std::size_t n);
+  std::uint64_t le(int n);
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Atomically write `payload` to `path` inside the versioned, checksummed
+/// envelope: <path>.tmp + fsync + rename. Throws SnapshotError on I/O error
+/// (the previous snapshot at `path`, if any, is left untouched).
+void write_snapshot_file(const std::string& path,
+                         std::span<const std::uint8_t> payload);
+
+/// Read and validate a snapshot file: magic, version, length and CRC must
+/// all match or SnapshotError is thrown. Returns the payload bytes.
+std::vector<std::uint8_t> read_snapshot_file(const std::string& path);
+
+}  // namespace disco::snap

@@ -42,6 +42,10 @@ class DiscoUnit final : public noc::RouterExtension {
   /// quarantine every engine forever (the NI flips to uncompressed bypass).
   void on_hard_fault(Cycle now) override;
 
+  /// Checkpoint/restore of engine and adaptive-threshold state.
+  void save_state(snap::Writer& w, noc::PacketTable& t) const override;
+  void restore_state(snap::Reader& r, const noc::PacketTable& t) override;
+
   /// Confidence values (exposed for unit tests and threshold sweeps).
   double compression_confidence(const noc::VcId& v) const;
   double decompression_confidence(const noc::VcId& v) const;

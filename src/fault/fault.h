@@ -15,6 +15,7 @@
 
 #include "common/config.h"
 #include "common/rng.h"
+#include "common/snapshot.h"
 
 namespace disco::fault {
 
@@ -121,6 +122,29 @@ class FaultInjector {
     if (!rng_.chance(cfg_.engine_stall_rate)) return false;
     ++counters_.engine_stalls;
     return true;
+  }
+
+  /// Checkpoint/restore: the RNG stream position and the fault counters are
+  /// the whole mutable state.
+  void save_state(snap::Writer& w) const {
+    for (const std::uint64_t s : rng_.state()) w.u64(s);
+    w.u64(counters_.link_bit_flips);
+    w.u64(counters_.llc_bit_flips);
+    w.u64(counters_.flit_drops);
+    w.u64(counters_.flit_duplicates);
+    w.u64(counters_.engine_stalls);
+    w.u64(counters_.engine_faults);
+  }
+  void restore_state(snap::Reader& r) {
+    std::array<std::uint64_t, 4> s{};
+    for (std::uint64_t& v : s) v = r.u64();
+    rng_.set_state(s);
+    counters_.link_bit_flips = r.u64();
+    counters_.llc_bit_flips = r.u64();
+    counters_.flit_drops = r.u64();
+    counters_.flit_duplicates = r.u64();
+    counters_.engine_stalls = r.u64();
+    counters_.engine_faults = r.u64();
   }
 
  private:

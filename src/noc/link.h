@@ -44,6 +44,18 @@ class PipelinedChannel {
     return out;
   }
 
+  /// Checkpoint support: visit every in-flight entry with its absolute
+  /// ready cycle, oldest first.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Entry& e : queue_) fn(e.ready, e.item);
+  }
+  /// Checkpoint support: re-enqueue an entry with its saved ready cycle
+  /// (push() would re-add the +1 pipeline delay).
+  void restore_push(Cycle ready, T item) {
+    queue_.push_back({ready, std::move(item)});
+  }
+
  private:
   struct Entry {
     Cycle ready;
@@ -66,6 +78,15 @@ class FlitLink {
   std::size_t size() const { return chan_.size(); }
   void clear() { chan_.clear(); }
   std::vector<Flit> take_all() { return chan_.take_all(); }
+
+  /// Checkpoint support (see PipelinedChannel::for_each/restore_push).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    chan_.for_each(fn);
+  }
+  void restore_push(Cycle ready, Flit f) { chan_.restore_push(ready, std::move(f)); }
+  Cycle last_push() const { return last_push_; }
+  void set_last_push(Cycle c) { last_push_ = c; }
 
  private:
   PipelinedChannel<Flit> chan_;

@@ -102,6 +102,14 @@ class Network {
   /// in-flight compressions/expansions of the run).
   bool credits_quiescent() const;
 
+  /// Checkpoint/restore of the whole network: topology, routers, NIs,
+  /// extensions, every link's in-flight contents, and the hard-fault
+  /// bookkeeping. Restore re-applies the structural disconnections implied
+  /// by the restored topology (dead routers/links have their wires severed
+  /// exactly as the kill path left them).
+  void save_state(snap::Writer& w, PacketTable& t) const;
+  void restore_state(snap::Reader& r, const PacketTable& t);
+
  private:
   void note_doomed(const PacketPtr& pkt, Cycle now);
   void enter_degraded();

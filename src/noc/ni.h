@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/snapshot.h"
 #include "fault/fault.h"
 #include "noc/link.h"
 #include "noc/noc_stats.h"
@@ -34,6 +35,8 @@
 #include "trace/trace.h"
 
 namespace disco::noc {
+
+class PacketTable;
 
 /// Endpoint consuming ejected packets (cache controllers, memory controller).
 class PacketSink {
@@ -131,6 +134,13 @@ class NetworkInterface {
 
   bool idle() const;
   std::size_t pending_injections() const;
+
+  /// Checkpoint/restore of all mutable NI state (inject queues, active
+  /// sends, credits, reassembly/recovery/dedup tables, id counters, mode
+  /// flags). Unordered tables serialize in sorted key order so a save ->
+  /// restore -> save round trip is byte-identical.
+  void save_state(snap::Writer& w, PacketTable& t) const;
+  void restore_state(snap::Reader& r, const PacketTable& t);
 
  private:
   struct PendingInject {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "noc/snapshot.h"
+
 namespace disco::noc {
 namespace {
 
@@ -582,6 +584,31 @@ bool Router::credits_quiescent() const {
     }
   }
   return true;
+}
+
+void Router::save_state(snap::Writer& w, PacketTable& t) const {
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    for (const VirtualChannel& ch : input_[p]) save_vc(w, t, ch);
+    for (const std::uint32_t c : credits_[p]) w.u32(c);
+    for (const bool taken : out_vc_taken_[p]) w.b(taken);
+  }
+  for (const std::uint32_t v : va_rr_) w.u32(v);
+  for (const std::uint32_t v : sa_in_rr_) w.u32(v);
+  for (const std::uint32_t v : sa_out_rr_) w.u32(v);
+  w.b(degraded_);
+}
+
+void Router::restore_state(snap::Reader& r, const PacketTable& t) {
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    for (VirtualChannel& ch : input_[p]) load_vc(r, t, ch);
+    for (std::uint32_t& c : credits_[p]) c = r.u32();
+    for (std::size_t v = 0; v < out_vc_taken_[p].size(); ++v)
+      out_vc_taken_[p][v] = r.b();
+  }
+  for (std::uint32_t& v : va_rr_) v = r.u32();
+  for (std::uint32_t& v : sa_in_rr_) v = r.u32();
+  for (std::uint32_t& v : sa_out_rr_) v = r.u32();
+  degraded_ = r.b();
 }
 
 }  // namespace disco::noc

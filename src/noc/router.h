@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/snapshot.h"
 #include "fault/fault.h"
 #include "noc/link.h"
 #include "noc/noc_stats.h"
@@ -28,6 +29,7 @@
 namespace disco::noc {
 
 class Router;
+class PacketTable;
 
 /// Structural snapshot of why a network might not be making progress, taken
 /// by the no-progress watchdog when it trips. Aggregated over all routers
@@ -57,6 +59,16 @@ class RouterExtension {
   /// in-flight operations and refuse all future work. Default: no hardware
   /// to lose (plain schemes).
   virtual void on_hard_fault(Cycle now) { static_cast<void>(now); }
+  /// Checkpoint/restore of extension-private state (DISCO engines,
+  /// thresholds). Default: stateless extension.
+  virtual void save_state(snap::Writer& w, PacketTable& t) const {
+    static_cast<void>(w);
+    static_cast<void>(t);
+  }
+  virtual void restore_state(snap::Reader& r, const PacketTable& t) {
+    static_cast<void>(r);
+    static_cast<void>(t);
+  }
 };
 
 class Router {
@@ -145,6 +157,12 @@ class Router {
   /// double-returned by compression rebuilds), and no VC may still carry
   /// expansion debt.
   bool credits_quiescent() const;
+
+  /// Checkpoint/restore of all mutable router state (VC buffers, credits,
+  /// allocation round-robin pointers, degraded flag). Wires/links are
+  /// serialized by the owning Network.
+  void save_state(snap::Writer& w, PacketTable& t) const;
+  void restore_state(snap::Reader& r, const PacketTable& t);
 
  private:
   static constexpr std::size_t idx(Port p) { return static_cast<std::size_t>(p); }

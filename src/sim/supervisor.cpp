@@ -64,7 +64,8 @@ const char* signal_name(int sig) {
 CellStatus status_from_name(const std::string& s) {
   for (const CellStatus c :
        {CellStatus::Ok, CellStatus::Failed, CellStatus::TimedOut,
-        CellStatus::Skipped, CellStatus::Crashed, CellStatus::Interrupted}) {
+        CellStatus::Skipped, CellStatus::Crashed, CellStatus::Interrupted,
+        CellStatus::ResourceExhausted}) {
     if (s == to_string(c)) return c;
   }
   throw std::runtime_error("manifest: unknown cell status \"" + s + "\"");
@@ -84,6 +85,8 @@ std::string encode_entry(const SweepCellOutcome& out) {
                      ",\"status\":";
   wire::append_json_string(line, to_string(out.status));
   line += ",\"attempts\":" + std::to_string(out.attempts);
+  if (out.snap_saved_cycles > 0)
+    line += ",\"snap_saved_cycles\":" + std::to_string(out.snap_saved_cycles);
   line += ",\"error\":";
   wire::append_json_string(line, out.error);
   if (out.ok()) {
@@ -92,6 +95,20 @@ std::string encode_entry(const SweepCellOutcome& out) {
   }
   line += "}";
   return line;
+}
+
+std::string snapshot_path_for(const std::string& dir, std::size_t cell) {
+  return dir + "/snap-cell" + std::to_string(cell) + ".bin";
+}
+
+/// Delete a cell's snapshot (and any torn tmp file) — called when the cell
+/// reaches a terminal outcome, so checkpoint dirs never accumulate stale
+/// mid-cell state. Interrupted cells keep theirs for the --resume rerun.
+void gc_snapshot(const std::string& dir, std::size_t cell) {
+  if (dir.empty()) return;
+  const std::string path = snapshot_path_for(dir, cell);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
 }
 
 /// Append-only checkpoint journal with atomic replacement: the manifest is
@@ -252,6 +269,22 @@ void write_all(int fd, const std::string& payload) {
     cell.cfg.trace.out_path.clear();
   }
 
+  // Mid-cell checkpointing: snapshot into the checkpoint dir every N
+  // measured cycles and resume from the last good snapshot on a retry.
+  std::uint64_t resumed_cycles = 0;
+  const bool snapshotting = opt.supervisor.snapshot_interval_cycles > 0 &&
+                            !opt.supervisor.checkpoint_dir.empty();
+  if (snapshotting) {
+    cell.opt.snapshot_interval = opt.supervisor.snapshot_interval_cycles;
+    cell.opt.snapshot_path =
+        snapshot_path_for(opt.supervisor.checkpoint_dir, index);
+    cell.opt.resumed_from_cycles = &resumed_cycles;
+    if (opt.supervisor.debug_kill_cell >= 0 &&
+        static_cast<std::size_t>(opt.supervisor.debug_kill_cell) == index &&
+        attempt <= opt.supervisor.debug_crash_attempts)
+      cell.opt.debug_kill_at = opt.supervisor.debug_kill_cycle;
+  }
+
   std::string payload;
   int exit_code = 0;
   try {
@@ -260,6 +293,13 @@ void write_all(int fd, const std::string& payload) {
     CellResult r = run_cell(cell.cfg, cell.profile, cell.opt);
     if (auto_trace) r.trace_text.clear();
     payload = wire::encode_result(r);
+    if (snapshotting) {
+      // Ride the result object: the parent journals how many cycles this
+      // attempt recovered from the snapshot instead of re-simulating.
+      payload.pop_back();  // '}'
+      payload +=
+          ",\"snapshot_resume_cycle\":" + std::to_string(resumed_cycles) + "}";
+    }
   } catch (...) {
     payload = "{\"error\":";
     wire::append_json_string(payload, detail::describe_current_exception());
@@ -284,6 +324,8 @@ struct ChildProc {
   bool term_sent = false;       ///< SIGTERM sent for exceeding the budget
   bool interrupt_sent = false;  ///< SIGTERM sent for a sweep shutdown
   bool killed = false;          ///< escalated to SIGKILL
+  bool rss_killed = false;      ///< SIGKILLed for exceeding --max-rss-mb
+  std::uint64_t rss_mb = 0;     ///< RSS at the moment of the kill
   Clock::time_point term_at;
   std::string buf;  ///< accumulated pipe payload
 };
@@ -415,11 +457,13 @@ class IsolatedScheduler {
     CellStatus status;
     std::string error;
     CellResult result;
-    classify_exit(c, wstatus, status, error, result);
+    std::uint64_t resumed_cycles = 0;
+    classify_exit(c, wstatus, status, error, result, resumed_cycles);
 
     const bool retryable = status == CellStatus::Failed ||
                            status == CellStatus::Crashed ||
-                           status == CellStatus::TimedOut;
+                           status == CellStatus::TimedOut ||
+                           status == CellStatus::ResourceExhausted;
     if (retryable && c.attempt < max_attempts_ && !interrupt_requested()) {
       record_attempt(c.windex, c.attempt, status, error);
       const std::uint64_t backoff = so_.retry_backoff_ms << (c.attempt - 1);
@@ -437,15 +481,26 @@ class IsolatedScheduler {
     out.attempts = c.attempt;
     out.status = status;
     out.error = std::move(error);
-    if (status == CellStatus::Ok) out.result = std::move(result);
+    if (status == CellStatus::Ok) {
+      out.result = std::move(result);
+      out.snap_saved_cycles = resumed_cycles;
+    }
     finalize(c.windex);
   }
 
   void classify_exit(const ChildProc& c, int wstatus, CellStatus& status,
-                     std::string& error, CellResult& result) const {
+                     std::string& error, CellResult& result,
+                     std::uint64_t& resumed_cycles) const {
     if (c.interrupt_sent) {
       status = CellStatus::Interrupted;
       error = "sweep interrupted";
+      return;
+    }
+    if (c.rss_killed) {
+      status = CellStatus::ResourceExhausted;
+      error = "child resident set " + std::to_string(c.rss_mb) +
+              "MiB exceeded the " + std::to_string(so_.max_rss_mb) +
+              "MiB --max-rss-mb cap (killed)";
       return;
     }
     if (c.term_sent) {
@@ -464,7 +519,9 @@ class IsolatedScheduler {
     const int code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
     if (code == 0) {
       try {
-        result = wire::decode_result(wire::parse_object(c.buf));
+        const wire::Value v = wire::parse_object(c.buf);
+        result = wire::decode_result(v);
+        resumed_cycles = v.num_or("snapshot_resume_cycle", 0);
         status = CellStatus::Ok;
       } catch (const std::exception& e) {
         status = CellStatus::Failed;
@@ -492,9 +549,37 @@ class IsolatedScheduler {
     error = "child exited with unexpected code " + std::to_string(code);
   }
 
+  /// Resident set of `pid` in MiB via /proc/<pid>/statm (Linux; returns 0
+  /// where /proc is unavailable, which disables the cap gracefully).
+  static std::uint64_t read_rss_mb(pid_t pid) {
+    char path[64];
+    std::snprintf(path, sizeof path, "/proc/%d/statm", static_cast<int>(pid));
+    std::FILE* f = std::fopen(path, "r");
+    if (f == nullptr) return 0;
+    unsigned long long size = 0, resident = 0;
+    const int n = std::fscanf(f, "%llu %llu", &size, &resident);
+    std::fclose(f);
+    if (n != 2) return 0;
+    static const long page = ::sysconf(_SC_PAGESIZE);
+    return resident * static_cast<unsigned long long>(page) / (1024 * 1024);
+  }
+
   void enforce_deadlines() {
     const auto now = Clock::now();
     for (ChildProc& c : running_) {
+      // Memory watchdog: a worker past the RSS cap is killed outright
+      // (SIGTERM could be absorbed by an allocator stuck in swap-thrash)
+      // and journaled as resource_exhausted, not conflated with hangs.
+      if (so_.max_rss_mb > 0 && !c.term_sent && !c.interrupt_sent &&
+          !c.rss_killed) {
+        const std::uint64_t rss = read_rss_mb(c.pid);
+        if (rss > so_.max_rss_mb) {
+          ::kill(c.pid, SIGKILL);
+          c.rss_killed = true;
+          c.rss_mb = rss;
+          continue;
+        }
+      }
       if (c.term_sent || c.interrupt_sent) {
         if (!c.killed &&
             ms_since(c.term_at) > static_cast<double>(so_.hang_grace_ms)) {
@@ -557,6 +642,10 @@ class IsolatedScheduler {
     SweepCellOutcome& out = res_.cells[work_[windex]];
     out.wall_ms = ms_since(cell_start_[windex]);
     journal_.append(encode_entry(out));
+    // Terminal outcome: the cell's snapshot is no longer needed. An
+    // interrupted cell keeps it — the --resume rerun picks it up mid-cell.
+    if (out.status != CellStatus::Interrupted)
+      gc_snapshot(so_.checkpoint_dir, out.index);
     if (!out.ok()) {
       progress_.note("cell " + std::to_string(out.index) + " (" +
                      prepared_[out.index].profile.name + "/" +
@@ -659,18 +748,26 @@ Manifest load_manifest(const std::string& path) {
       have_header = true;
       continue;
     }
-    ManifestEntry e;
-    e.cell = v.num_or("cell", 0);
-    e.group = v.num_or("group", 0);
-    e.status = status_from_name(v.str_or("status", "failed"));
-    e.attempts = static_cast<unsigned>(v.num_or("attempts", 0));
-    e.error = v.str_or("error", "");
-    if (const wire::Value* r = v.find("result")) {
-      e.result = wire::decode_result(*r);
-      e.has_result = true;
+    // Per-entry fault containment: a bit-flipped or truncated-but-parseable
+    // entry (unknown status name, wrong field kind, missing result field)
+    // is dropped — that one cell reruns — instead of failing the resume.
+    try {
+      ManifestEntry e;
+      e.cell = v.num_or("cell", 0);
+      e.group = v.num_or("group", 0);
+      e.status = status_from_name(v.str_or("status", "failed"));
+      e.attempts = static_cast<unsigned>(v.num_or("attempts", 0));
+      e.snap_saved_cycles = v.num_or("snap_saved_cycles", 0);
+      e.error = v.str_or("error", "");
+      if (const wire::Value* r = v.find("result")) {
+        e.result = wire::decode_result(*r);
+        e.has_result = true;
+      }
+      e.line = line;
+      m.entries.push_back(std::move(e));
+    } catch (const std::exception&) {
+      continue;
     }
-    e.line = line;
-    m.entries.push_back(std::move(e));
   }
   if (!have_header)
     throw std::runtime_error("manifest: empty or headerless: " + path);
@@ -710,10 +807,23 @@ SweepResult run_sweep_supervised(const std::vector<SweepCell>& cells,
       SweepCellOutcome& out = res.cells[e.cell];
       out.status = CellStatus::Ok;
       out.attempts = e.attempts;
+      out.snap_saved_cycles = e.snap_saved_cycles;
       out.error = e.error;
       out.result = std::move(e.result);
       carried.push_back(std::move(e.line));
       work.erase(std::remove(work.begin(), work.end(), e.cell), work.end());
+    }
+  }
+
+  // Snapshot-directory hygiene: a fresh (non-resume) sweep invalidates any
+  // snapshots a previous run left in this checkpoint dir; on resume, only
+  // the cells still to be run may keep one.
+  if (!so.checkpoint_dir.empty()) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const bool still_to_run =
+          !so.resume_manifest.empty() &&
+          std::find(work.begin(), work.end(), i) != work.end();
+      if (!still_to_run) gc_snapshot(so.checkpoint_dir, i);
     }
   }
 

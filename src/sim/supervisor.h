@@ -29,6 +29,9 @@ struct ManifestEntry {
   std::size_t group = 0;
   CellStatus status = CellStatus::Failed;
   unsigned attempts = 0;
+  /// Measurement cycles the finishing attempt recovered from a mid-cell
+  /// snapshot instead of re-simulating (0 = ran from cycle 0).
+  std::uint64_t snap_saved_cycles = 0;
   std::string error;
   bool has_result = false;
   CellResult result;   ///< decoded bit-exactly; valid when has_result

@@ -228,7 +228,8 @@ void tally_outcomes(SweepResult& res) {
         ++res.failed;
         break;
       case CellStatus::Failed:
-      case CellStatus::TimedOut: ++res.failed; break;
+      case CellStatus::TimedOut:
+      case CellStatus::ResourceExhausted: ++res.failed; break;
     }
   }
   if (interrupt_requested()) res.interrupted = true;
@@ -263,6 +264,16 @@ namespace {
                "                       (default 100)\n"
                "  --hang-grace-ms G    grace between SIGTERM and SIGKILL for a\n"
                "                       timed-out child (default 2000)\n"
+               "  --snapshot-interval-cycles N\n"
+               "                       (with --isolate --checkpoint-dir) each\n"
+               "                       worker snapshots its full simulation\n"
+               "                       state every N measured cycles; retries\n"
+               "                       resume from the last good snapshot\n"
+               "                       byte-identically instead of recomputing\n"
+               "                       from cycle 0 (0 = off)\n"
+               "  --max-rss-mb M       SIGKILL an isolated child whose resident\n"
+               "                       set exceeds M MiB; journaled as\n"
+               "                       resource_exhausted (0 = off)\n"
                "  --progress-watchdog N fail a cell with a classified deadlock/\n"
                "                       livelock/starvation error if no packet\n"
                "                       moves for N cycles while work is pending\n"
@@ -309,6 +320,7 @@ const char* to_string(CellStatus s) {
     case CellStatus::Skipped: return "skipped";
     case CellStatus::Crashed: return "crashed";
     case CellStatus::Interrupted: return "interrupted";
+    case CellStatus::ResourceExhausted: return "resource_exhausted";
   }
   return "?";
 }
@@ -400,6 +412,10 @@ SweepOptions parse_sweep_flags(int argc, char** argv,
   if (const char* e = std::getenv("DISCO_DEBUG_CRASH_ATTEMPTS"))
     opt.supervisor.debug_crash_attempts =
         static_cast<unsigned>(std::strtoul(e, nullptr, 10));
+  if (const char* e = std::getenv("DISCO_DEBUG_KILL_CELL"))
+    opt.supervisor.debug_kill_cell = std::atoi(e);
+  if (const char* e = std::getenv("DISCO_DEBUG_KILL_CYCLE"))
+    opt.supervisor.debug_kill_cycle = std::strtoull(e, nullptr, 10);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -429,6 +445,11 @@ SweepOptions parse_sweep_flags(int argc, char** argv,
       opt.supervisor.retry_backoff_ms = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--hang-grace-ms") {
       opt.supervisor.hang_grace_ms = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--snapshot-interval-cycles") {
+      opt.supervisor.snapshot_interval_cycles =
+          std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--max-rss-mb") {
+      opt.supervisor.max_rss_mb = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--progress-watchdog") {
       opt.progress_watchdog_cycles = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--debug-crash-cell") {
@@ -437,6 +458,10 @@ SweepOptions parse_sweep_flags(int argc, char** argv,
       opt.supervisor.debug_hang_cell = std::atoi(value());
     } else if (arg == "--debug-throw-cell") {
       opt.supervisor.debug_throw_cell = std::atoi(value());
+    } else if (arg == "--debug-kill-cell") {
+      opt.supervisor.debug_kill_cell = std::atoi(value());
+    } else if (arg == "--debug-kill-cycle") {
+      opt.supervisor.debug_kill_cycle = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--debug-crash-attempts") {
       opt.supervisor.debug_crash_attempts =
           static_cast<unsigned>(std::strtoul(value(), nullptr, 10));

@@ -53,6 +53,20 @@ struct SupervisorOptions {
   /// before escalating to SIGKILL / detach.
   std::uint64_t hang_grace_ms = 2000;
 
+  // --- mid-cell checkpointing ------------------------------------------
+  /// When > 0 (and checkpoint_dir is set, isolated mode), each forked
+  /// worker snapshots its full simulation state to
+  /// <checkpoint_dir>/snap-cell<i>.bin every N measured cycles; a retried
+  /// attempt (after a crash, SIGKILL or timeout) resumes from the last
+  /// good snapshot instead of recomputing from cycle 0, byte-identically.
+  /// Corrupted / mismatched snapshots are rejected by checksum and the
+  /// retry falls back to a from-zero run. 0 = off.
+  std::uint64_t snapshot_interval_cycles = 0;
+  /// Resident-set cap per isolated child, in MiB: a worker whose RSS
+  /// exceeds it is SIGKILLed and journaled as `resource_exhausted`
+  /// (distinct from crashes and hangs), honoring retry/backoff. 0 = off.
+  std::uint64_t max_rss_mb = 0;
+
   // --- deterministic fault hooks for tests and the CI recovery drill ---
   /// Cell index that SIGSEGVs (isolated) / throws (in-process); -1 = none.
   int debug_crash_cell = -1;
@@ -60,14 +74,20 @@ struct SupervisorOptions {
   int debug_hang_cell = -1;
   /// Cell index that throws a non-std::exception value; -1 = none.
   int debug_throw_cell = -1;
+  /// Cell index whose isolated child raises SIGKILL on itself right after
+  /// the first snapshot at or past debug_kill_cycle (tests the
+  /// kill-between-snapshots recovery path); -1 = none.
+  int debug_kill_cell = -1;
+  std::uint64_t debug_kill_cycle = 0;
   /// The hooks fire only while the cell's attempt number is <= this, so a
   /// retried cell recovers (set very high to exhaust retries instead).
   unsigned debug_crash_attempts = 1;
 
   bool active() const {
     return isolate || !checkpoint_dir.empty() || !resume_manifest.empty() ||
+           snapshot_interval_cycles > 0 || max_rss_mb > 0 ||
            debug_crash_cell >= 0 || debug_hang_cell >= 0 ||
-           debug_throw_cell >= 0;
+           debug_throw_cell >= 0 || debug_kill_cell >= 0;
   }
 };
 
@@ -128,6 +148,10 @@ enum class CellStatus : std::uint8_t {
   Skipped,      ///< not in this shard
   Crashed,      ///< isolated child died on a signal (SIGSEGV, ...)
   Interrupted,  ///< SIGINT/SIGTERM shutdown before the cell could finish
+  /// Isolated child exceeded its --max-rss-mb resident-set cap and was
+  /// SIGKILLed by the supervisor — a resource outcome distinct from
+  /// crashes and hangs, so memory regressions are visible in manifests.
+  ResourceExhausted,
 };
 
 const char* to_string(CellStatus s);
@@ -138,6 +162,10 @@ struct SweepCellOutcome {
   CellStatus status = CellStatus::Skipped;
   unsigned attempts = 0;
   double wall_ms = 0;
+  /// Measurement cycles recovered from a mid-cell snapshot by the attempt
+  /// that finished this cell (0 = it ran from cycle 0). Journaled in the
+  /// manifest so `manifest_inspect` can report work saved by checkpointing.
+  std::uint64_t snap_saved_cycles = 0;
   std::string error;    ///< exception text of the last failed attempt
   CellResult result;    ///< valid only when status == CellStatus::Ok
 

@@ -80,7 +80,12 @@ struct Scanner {
       fail("expected number at offset " + std::to_string(pos));
     std::uint64_t v = 0;
     while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
-      v = v * 10 + static_cast<std::uint64_t>(s[pos] - '0');
+      const std::uint64_t d = static_cast<std::uint64_t>(s[pos] - '0');
+      // A bit-flipped payload can splice digits into a number that no
+      // encoder ever produced; reject overflow instead of wrapping quietly.
+      if (v > (UINT64_MAX - d) / 10)
+        fail("number overflow at offset " + std::to_string(pos));
+      v = v * 10 + d;
       ++pos;
     }
     return v;
@@ -141,6 +146,8 @@ void visit_result(CellResult& r, F&& f) {
   f.str("algorithm", r.algorithm);
   std::uint64_t scheme = static_cast<std::uint64_t>(r.scheme);
   f.u64("scheme", scheme);
+  if (scheme > static_cast<std::uint64_t>(Scheme::Ideal))
+    fail("scheme value out of range");
   r.scheme = static_cast<Scheme>(scheme);
   f.u64("measured_cycles", r.measured_cycles);
   f.u64("core_ops", r.core_ops);

@@ -79,6 +79,11 @@ class InvariantChecker {
 
   const InvariantSummary& summary() const { return summary_; }
 
+  /// Checkpoint/restore of every running model and the summary, so a
+  /// restored run's final verdict equals the uninterrupted run's.
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
+
  private:
   enum class VcState : std::uint8_t { Idle, VcAlloc, Active };
   struct Shadow {

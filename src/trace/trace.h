@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/snapshot.h"
 #include "common/types.h"
 
 namespace disco::trace {
@@ -143,6 +144,11 @@ class Tracer {
   /// Chrome trace_event JSON (load in Perfetto / chrome://tracing): one
   /// instant event per probe, pid = node, tid = port.
   void write_chrome_json(std::ostream& os) const;
+
+  /// Checkpoint/restore of the ring contents and sequence counters (the
+  /// capture mask is config-derived and only geometry-checked).
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
 
  private:
   std::vector<TraceEvent> ring_;

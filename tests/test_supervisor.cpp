@@ -425,7 +425,9 @@ TEST(Cancellation, SupervisedTimeoutIsRetriedAndRecovers) {
   auto cells = small_grid();
   cells.resize(1);
   SweepOptions opt = quiet(1);
-  opt.cell_timeout_ms = 150;
+  // Generous budget: attempt 1 is a *deliberate* hang so it times out at any
+  // budget, while the healthy retry must never be killed by a slow machine.
+  opt.cell_timeout_ms = 2000;
   opt.supervisor.debug_hang_cell = 0;  // in-process hang, attempt 1 only
   opt.supervisor.debug_crash_attempts = 1;
   opt.supervisor.max_retries = 1;
@@ -487,6 +489,177 @@ TEST(Supervisor, CrashAndHangInOneSweepRecoverEndToEnd) {
   const SweepResult noop = run_sweep(cells, again);
   EXPECT_TRUE(noop.all_ok());
   EXPECT_EQ(as_json(noop), reference);
+}
+
+// ---------------------------------------------------------------------------
+// Mid-cell checkpointing: SIGKILL between snapshots, byte-identical resume
+// ---------------------------------------------------------------------------
+
+TEST(MidCellCheckpoint, SigkilledWorkerResumesByteIdenticallyAnyThreadCount) {
+  const auto cells = small_grid();
+  const std::string reference = as_json(run_sweep(cells, quiet(1)));
+
+  for (const unsigned threads : {1u, 2u}) {
+    ScratchDir dir("snapkill-t" + std::to_string(threads));
+    SweepOptions opt = quiet(threads);
+    opt.supervisor.isolate = true;
+    opt.supervisor.checkpoint_dir = dir.str();
+    opt.supervisor.snapshot_interval_cycles = 2000;
+    opt.supervisor.max_retries = 1;
+    opt.supervisor.retry_backoff_ms = 10;
+    // Cell 0 SIGKILLs itself right after the snapshot at measured cycle
+    // 4000 (of 8000) on attempt 1 only; attempt 2 must resume mid-cell.
+    opt.supervisor.debug_kill_cell = 0;
+    opt.supervisor.debug_kill_cycle = 4000;
+    const SweepResult r = run_sweep(cells, opt);
+    ASSERT_TRUE(r.all_ok()) << "threads=" << threads << ": "
+                            << r.cells[0].error;
+    EXPECT_EQ(r.cells[0].attempts, 2u)
+        << "the SIGKILL must cost exactly one attempt";
+    EXPECT_EQ(r.cells[0].snap_saved_cycles, 4000u)
+        << "the retry must resume from the cycle-4000 snapshot";
+    EXPECT_EQ(as_json(r), reference)
+        << "threads=" << threads
+        << ": resumed sweep must be byte-identical to an uninterrupted run";
+
+    // Manifest lineage: the journal records the cycles saved by recovery.
+    const Manifest m = load_manifest(dir.manifest());
+    bool found = false;
+    for (const auto& e : m.entries) {
+      if (e.cell != 0) continue;
+      found = true;
+      EXPECT_EQ(e.snap_saved_cycles, 4000u);
+    }
+    EXPECT_TRUE(found);
+
+    // Snapshot-dir hygiene: terminal cells leave no snapshots behind.
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      EXPECT_FALSE(dir.has("snap-cell" + std::to_string(i) + ".bin"))
+          << "snapshot for completed cell " << i << " was not GCed";
+    }
+  }
+}
+
+TEST(MidCellCheckpoint, CorruptedSnapshotFallsBackToFromZeroRetry) {
+  auto cells = small_grid();
+  cells.resize(1);
+  const std::string reference = as_json(run_sweep(cells, quiet(1)));
+
+  ScratchDir dir("snapcorrupt");
+  // A stale, corrupted snapshot is already sitting where cell 0 would
+  // resume from (e.g. disk corruption after a crash).
+  {
+    std::ofstream f(dir.str() + "/snap-cell0.bin", std::ios::binary);
+    f << "DSNPgarbage-not-a-valid-snapshot-payload";
+  }
+  SweepOptions opt = quiet(1);
+  opt.supervisor.isolate = true;
+  opt.supervisor.checkpoint_dir = dir.str();
+  opt.supervisor.snapshot_interval_cycles = 2000;
+  const SweepResult r = run_sweep(cells, opt);
+  ASSERT_TRUE(r.all_ok()) << r.cells[0].error;
+  EXPECT_EQ(r.cells[0].snap_saved_cycles, 0u)
+      << "checksum rejection must fall back to a from-zero run";
+  EXPECT_EQ(as_json(r), reference);
+  EXPECT_FALSE(dir.has("snap-cell0.bin"));
+}
+
+TEST(MidCellCheckpoint, FreshSweepClearsStaleSnapshots) {
+  auto cells = small_grid();
+  cells.resize(1);
+  ScratchDir dir("snapstale");
+  {
+    std::ofstream f(dir.str() + "/snap-cell0.bin", std::ios::binary);
+    f << "stale";
+    std::ofstream t(dir.str() + "/snap-cell0.bin.tmp", std::ios::binary);
+    t << "torn";
+  }
+  SweepOptions opt = quiet(1);
+  opt.supervisor.isolate = true;
+  opt.supervisor.checkpoint_dir = dir.str();
+  const SweepResult r = run_sweep(cells, opt);
+  EXPECT_TRUE(r.all_ok());
+  EXPECT_FALSE(dir.has("snap-cell0.bin"))
+      << "a fresh (non-resume) sweep must invalidate leftover snapshots";
+  EXPECT_FALSE(dir.has("snap-cell0.bin.tmp"));
+}
+
+// ---------------------------------------------------------------------------
+// RSS watchdog: memory exhaustion is a distinct, retryable outcome
+// ---------------------------------------------------------------------------
+
+TEST(RssWatchdog, OverLimitWorkerIsKilledAndJournaledDistinctly) {
+  auto cells = small_grid();
+  cells.resize(1);
+  cells[0].opt.measure_cycles = 50'000'000;  // long enough to get sampled
+  ScratchDir dir("rss");
+  SweepOptions opt = quiet(1);
+  opt.supervisor.isolate = true;
+  opt.supervisor.checkpoint_dir = dir.str();
+  opt.supervisor.max_rss_mb = 1;  // any real worker exceeds 1 MiB instantly
+  opt.supervisor.max_retries = 1;
+  opt.supervisor.retry_backoff_ms = 10;
+  const SweepResult r = run_sweep(cells, opt);
+  EXPECT_EQ(r.cells[0].status, CellStatus::ResourceExhausted)
+      << r.cells[0].error;
+  EXPECT_EQ(r.cells[0].attempts, 2u)
+      << "resource exhaustion honors retry/backoff like other failures";
+  EXPECT_NE(r.cells[0].error.find("max-rss-mb"), std::string::npos);
+  EXPECT_EQ(r.failed, 1u);
+
+  // The distinct outcome survives the journal roundtrip.
+  const Manifest m = load_manifest(dir.manifest());
+  ASSERT_EQ(m.entries.size(), 1u);
+  EXPECT_EQ(m.entries[0].status, CellStatus::ResourceExhausted);
+  std::ifstream f(dir.manifest());
+  std::stringstream body;
+  body << f.rdbuf();
+  EXPECT_NE(body.str().find("resource_exhausted"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest corruption containment (per-entry, not whole-file)
+// ---------------------------------------------------------------------------
+
+TEST(ManifestHardening, CorruptedEntryIsDroppedNotFatal) {
+  auto cells = small_grid();
+  cells.resize(2);
+  ScratchDir dir("mancorrupt");
+  SweepOptions opt = quiet(1);
+  opt.supervisor.isolate = true;
+  opt.supervisor.checkpoint_dir = dir.str();
+  const SweepResult r = run_sweep(cells, opt);
+  ASSERT_TRUE(r.all_ok());
+
+  // Corrupt cell 0's journal entry: unknown status name (a parseable line
+  // whose content is bad — the torn-line path is covered elsewhere).
+  std::stringstream body;
+  {
+    std::ifstream f(dir.manifest());
+    body << f.rdbuf();
+  }
+  std::string text = body.str();
+  const auto pos = text.find("\"ok\"");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 4, "\"ok!\"");
+  {
+    std::ofstream f(dir.manifest(), std::ios::trunc);
+    f << text;
+  }
+
+  const Manifest m = load_manifest(dir.manifest());
+  EXPECT_EQ(m.entries.size(), 1u)
+      << "the corrupted entry is dropped; the healthy one survives";
+
+  // Resume reruns only the dropped cell and reproduces the full sweep.
+  const std::string reference = as_json(run_sweep(cells, quiet(1)));
+  SweepOptions resume = quiet(1);
+  resume.supervisor.isolate = true;
+  resume.supervisor.resume_manifest = dir.manifest();
+  resume.supervisor.checkpoint_dir = dir.str();
+  const SweepResult done = run_sweep(cells, resume);
+  EXPECT_TRUE(done.all_ok());
+  EXPECT_EQ(as_json(done), reference);
 }
 
 }  // namespace
